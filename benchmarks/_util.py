@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one paper table/figure.  Because pytest
+captures stdout by default, every report is also persisted under
+``benchmarks/results/`` so the regenerated series survive the run
+(EXPERIMENTS.md is written from those files).
+
+Benchmarks use *scaled-down* parameters (fewer epochs, shorter
+measurement windows, smaller tables) to keep the whole suite's
+wall-clock time reasonable; every experiment module accepts the
+paper-scale parameters for full runs.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import io
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit_report(name: str, report_fn, *args) -> str:
+    """Run ``report_fn(*args)``, print its output, persist it."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        report_fn(*args)
+    text = buffer.getvalue()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    return text

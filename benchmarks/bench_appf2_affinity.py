@@ -1,0 +1,33 @@
+"""Appendix F.2: the affinity ablation.
+
+Paper shape: with scale factor 1 and a single worker under round-robin
+routing, adding executors *reduces* throughput — to 86% with two
+executors and progressively down to ~40% with sixteen — because every
+spread-out request pays cache-migration costs.
+"""
+
+from _util import emit_report
+
+from repro.experiments import appf2
+
+PARAMS = dict(executor_counts=(1, 2, 4, 8, 16),
+              measure_us=50_000.0, n_epochs=4)
+
+
+def test_appf2_affinity_ablation(benchmark):
+    points = appf2.run(**PARAMS)
+    emit_report("appf2", appf2.report, points)
+
+    relative = {p.executors: p.relative_pct for p in points}
+    assert relative[1] == 100.0
+    # Monotone degradation as routing spreads load thinner.
+    assert relative[2] < 100.0
+    assert relative[16] < relative[2]
+    # Magnitudes in the paper's neighbourhood (86% -> ~40%).
+    assert 60.0 < relative[2] < 99.0
+    assert 30.0 < relative[16] < 75.0
+
+    benchmark.pedantic(
+        lambda: appf2.run(executor_counts=(4,),
+                          measure_us=15_000.0, n_epochs=2),
+        rounds=2, iterations=1)

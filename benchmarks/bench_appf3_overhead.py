@@ -1,0 +1,34 @@
+"""Appendix F.3: containerization overhead.
+
+Paper shape: empty transactions with concurrency control disabled
+cost a roughly constant ~22 usec per invocation across scale factors
+(dominated by client<->executor thread switching), a modest fraction
+(~18%) of average TPC-C transaction latency.
+"""
+
+from _util import emit_report
+
+from repro.experiments import appf3
+
+PARAMS = dict(scale_factors=(1, 4, 8), measure_us=30_000.0,
+              n_epochs=4)
+
+
+def test_appf3_containerization_overhead(benchmark):
+    points = appf3.run(**PARAMS)
+    emit_report("appf3", appf3.report, points)
+
+    overheads = [p.overhead_us for p in points]
+    # Roughly constant across scale factors (within 25% of the mean).
+    mean = sum(overheads) / len(overheads)
+    assert all(abs(o - mean) / mean < 0.25 for o in overheads)
+    # Same order of magnitude as the paper's ~22 usec.
+    assert 10.0 < mean < 45.0
+    # A minor fraction of real transaction latency.
+    for p in points:
+        assert p.overhead_pct_of_tpcc < 50.0
+
+    benchmark.pedantic(
+        lambda: appf3.run(scale_factors=(4,), measure_us=10_000.0,
+                          n_epochs=2),
+        rounds=2, iterations=1)

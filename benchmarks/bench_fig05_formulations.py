@@ -1,0 +1,34 @@
+"""Figure 5: multi-transfer latency vs size and program formulation.
+
+Paper shape to reproduce: latency grows linearly with transaction
+size for all formulations; fully-sync is slowest, latency drops as
+asynchronicity increases, opt is fastest (86 usec -> 25 usec at size 7
+in the paper).
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig05
+
+SIZES = (1, 2, 3, 4, 5, 6, 7)
+PARAMS = dict(n_txns=60, customers_per_container=60)
+
+
+def test_fig05_multi_transfer_formulations(benchmark):
+    results = fig05.run(sizes=SIZES, **PARAMS)
+    emit_report("fig05", fig05.report, results)
+
+    # Shape assertions (paper Section 4.2.1).
+    for size in SIZES[2:]:
+        assert results["fully-sync"][size] > \
+            results["partially-async"][size]
+        assert results["partially-async"][size] > \
+            results["fully-async"][size]
+        assert results["fully-async"][size] > results["opt"][size] * 0.9
+    # Linear growth of fully-sync; opt much flatter.
+    sync_growth = results["fully-sync"][7] - results["fully-sync"][1]
+    opt_growth = results["opt"][7] - results["opt"][1]
+    assert sync_growth > 2.5 * opt_growth
+
+    benchmark(lambda: fig05.run(sizes=(7,), variants=("opt",),
+                                n_txns=10, customers_per_container=60))

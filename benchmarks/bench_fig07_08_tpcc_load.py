@@ -1,0 +1,49 @@
+"""Figures 7 and 8: TPC-C throughput/latency under varying load.
+
+Paper shape: shared-everything-with-affinity wins, shared-nothing-
+async close behind (small gap from 1-4 workers), shared-everything-
+without-affinity clearly worst; abort rates stay near zero for the
+affinity deployment while rising for the other two past 4 workers.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig07_08
+
+PARAMS = dict(scale_factor=4, worker_counts=(1, 2, 4, 6, 8),
+              measure_us=60_000.0, n_epochs=5)
+
+
+def test_fig07_08_tpcc_under_load(benchmark):
+    points = fig07_08.run(**PARAMS)
+    emit_report("fig07_08", fig07_08.report, points)
+
+    def series(strategy, field):
+        return {p.workers: getattr(p, field) for p in points
+                if p.strategy == strategy}
+
+    se_aff = series("shared-everything-with-affinity",
+                    "throughput_ktps")
+    sn = series("shared-nothing-async", "throughput_ktps")
+    se_rr = series("shared-everything-without-affinity",
+                   "throughput_ktps")
+
+    for workers in PARAMS["worker_counts"]:
+        assert se_aff[workers] > se_rr[workers]  # affinity matters
+    # S2 and S3 are close from 1 to 4 workers (< 20% apart).
+    for workers in (1, 2, 4):
+        assert abs(se_aff[workers] - sn[workers]) / se_aff[workers] \
+            < 0.2
+    # Throughput grows with load for the affinity deployment.
+    assert se_aff[8] > se_aff[1] * 2
+
+    # Abort behavior: affinity deployment resilient under overload.
+    aborts_aff = series("shared-everything-with-affinity",
+                        "abort_rate")
+    aborts_sn = series("shared-nothing-async", "abort_rate")
+    assert aborts_sn[8] > aborts_aff[8]
+
+    benchmark.pedantic(
+        lambda: fig07_08.run(scale_factor=4, worker_counts=(4,),
+                             measure_us=20_000.0, n_epochs=2),
+        rounds=2, iterations=1)

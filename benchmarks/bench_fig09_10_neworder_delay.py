@@ -1,0 +1,38 @@
+"""Figures 9 and 10: asynchronicity trade-off under load.
+
+Paper shape: with one worker, shared-nothing-async doubles
+shared-everything-with-affinity's throughput on delayed new-orders
+(parallel stock replenishment); as load grows the shared-everything
+deployment catches up and overtakes — the architectures cross over.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig09_10
+
+PARAMS = dict(scale_factor=8, worker_counts=(1, 2, 4, 6, 8),
+              measure_us=200_000.0, n_epochs=4)
+
+
+def test_fig09_10_delay_crossover(benchmark):
+    points = fig09_10.run(**PARAMS)
+    emit_report("fig09_10", fig09_10.report, points)
+
+    def tput(strategy):
+        return {p.workers: p.throughput_tps for p in points
+                if p.strategy == strategy}
+
+    sn = tput("shared-nothing-async")
+    se = tput("shared-everything-with-affinity")
+
+    # Light load: asynchronicity wins big (paper: 2x at one worker).
+    assert sn[1] > se[1] * 1.5
+    # The advantage shrinks (or reverses) as workers saturate cores.
+    ratio_light = sn[1] / se[1]
+    ratio_heavy = sn[8] / se[8]
+    assert ratio_heavy < ratio_light * 0.7
+
+    benchmark.pedantic(
+        lambda: fig09_10.run(scale_factor=8, worker_counts=(1,),
+                             measure_us=50_000.0, n_epochs=2),
+        rounds=2, iterations=1)

@@ -1,0 +1,36 @@
+"""Figure 11 (Appendix B.1): local vs remote destination placement.
+
+Paper shape: fully-sync-remote rises sharply with size (processing
+*and* per-transfer communication); fully-sync-local rises with
+processing only; the opt-local vs opt-remote gap is comparatively
+small because communication overlaps.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig11
+
+PARAMS = dict(sizes=(1, 3, 5, 7), n_txns=60,
+              customers_per_container=60)
+
+
+def test_fig11_local_vs_remote(benchmark):
+    results = fig11.run(**PARAMS)
+    emit_report("fig11", fig11.report, results)
+
+    size = 7
+    sync_gap = results["fully-sync-remote"][size] - \
+        results["fully-sync-local"][size]
+    opt_gap = results["opt-remote"][size] - results["opt-local"][size]
+    assert sync_gap > 0
+    assert opt_gap >= 0
+    # The remote penalty hits fully-sync far harder than opt.
+    assert sync_gap > 2.0 * opt_gap
+    # Local variants still grow with size (processing cost).
+    assert results["fully-sync-local"][7] > \
+        results["fully-sync-local"][1]
+
+    benchmark.pedantic(
+        lambda: fig11.run(sizes=(5,), n_txns=15,
+                          customers_per_container=60),
+        rounds=3, iterations=1)

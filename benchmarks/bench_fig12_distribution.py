@@ -1,0 +1,34 @@
+"""Figure 12 (Appendix B.2): degree of physical distribution.
+
+Paper shape: with transaction size fixed at 7, latency of round-robin
+remote grows smoothly by one remote call per executor spanned;
+round-robin all moves in steps that track its remote-call counts; the
+random policy sits flat near the 6-7-remote-call level.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig12
+
+PARAMS = dict(executor_counts=(1, 2, 3, 4, 5, 6, 7), n_txns=60,
+              customers_per_container=60)
+
+
+def test_fig12_executors_spanned(benchmark):
+    results = fig12.run(**PARAMS)
+    emit_report("fig12", fig12.report, results)
+
+    rr_remote = results["round-robin remote"]
+    # Monotone growth: each spanned executor adds one remote call.
+    values = [rr_remote[k] for k in sorted(rr_remote)]
+    assert all(b >= a - 1.0 for a, b in zip(values, values[1:]))
+    assert values[-1] > values[0] * 1.5
+
+    # Random sits near the high end (expected ~6 remote calls).
+    random_latency = results["random"][7]
+    assert random_latency > rr_remote[4]
+
+    benchmark.pedantic(
+        lambda: fig12.run(executor_counts=(4,), n_txns=15,
+                          customers_per_container=60),
+        rounds=3, iterations=1)

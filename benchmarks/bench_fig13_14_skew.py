@@ -1,0 +1,43 @@
+"""Figures 13 and 14 (Appendix C): skew, queueing and the cost model.
+
+Paper shape: with one worker, multi_update latency *decreases* as
+skew rises (sub-transactions become local; dispatching a remote
+update costs more than executing one); the calibrated cost model plus
+measured commit/input-gen tracks the one-worker curve.  With four
+workers, queueing raises latencies, most visibly at high skew.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig13_14
+
+PARAMS = dict(scale_factor=1, thetas=(0.01, 0.5, 0.99, 2.0, 5.0),
+              worker_counts=(1, 4), measure_us=40_000.0,
+              calibration_txns=60, n_epochs=4)
+
+
+def test_fig13_14_skew_and_queueing(benchmark):
+    points = fig13_14.run(**PARAMS)
+    emit_report("fig13_14", fig13_14.report, points)
+
+    one_worker = {p.theta: p for p in points if p.workers == 1}
+    four_workers = {p.theta: p for p in points if p.workers == 4}
+
+    # Latency decreases with skew for a single worker.
+    assert one_worker[0.01].latency_us > one_worker[2.0].latency_us
+    # Queueing: four workers never beat one worker on latency.
+    for theta in PARAMS["thetas"]:
+        assert four_workers[theta].latency_us >= \
+            one_worker[theta].latency_us * 0.9
+    # Cost-model fit: pred + commit within 40% of observation.
+    for theta, p in one_worker.items():
+        assert p.predicted_with_commit_us is not None
+        assert abs(p.predicted_with_commit_us - p.latency_us) \
+            / p.latency_us < 0.4, theta
+
+    benchmark.pedantic(
+        lambda: fig13_14.run(scale_factor=1, thetas=(0.99,),
+                             worker_counts=(1,),
+                             measure_us=10_000.0,
+                             calibration_txns=20, n_epochs=2),
+        rounds=2, iterations=1)

@@ -1,0 +1,43 @@
+"""Figures 15 and 16 (Appendix E): effect of cross-reactor txns.
+
+Paper shape: shared-everything deployments degrade only gradually as
+the remote-item probability grows; both shared-nothing variants drop
+sharply from 0% to 10% (migration-of-control cost); shared-nothing-
+async holds roughly a 2x latency advantage over shared-nothing-sync
+at 100% cross-reactor transactions.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig15_16
+
+PARAMS = dict(scale_factor=8, cross_pcts=(0, 10, 50, 100),
+              measure_us=50_000.0, n_epochs=4)
+
+
+def test_fig15_16_cross_reactor_effect(benchmark):
+    points = fig15_16.run(**PARAMS)
+    emit_report("fig15_16", fig15_16.report, points)
+
+    def latency(strategy):
+        return {p.cross_pct: p.latency_us for p in points
+                if p.strategy == strategy}
+
+    sn_async = latency("shared-nothing-async")
+    sn_sync = latency("shared-nothing-sync")
+    se_aff = latency("shared-everything-with-affinity")
+
+    # Shared-nothing variants match shared-everything at 0%.
+    assert abs(sn_async[0] - se_aff[0]) / se_aff[0] < 0.35
+    # Clear latency penalty appears from 0% to 10% for shared-nothing
+    # (the migration-of-control cost of sub-transaction dispatch).
+    assert sn_async[10] > sn_async[0] * 1.1
+    # Async resilience: ~2x better latency than sync at 100%.
+    assert sn_sync[100] > 1.5 * sn_async[100]
+    # Shared-everything-with-affinity degrades only mildly.
+    assert se_aff[100] < se_aff[0] * 1.6
+
+    benchmark.pedantic(
+        lambda: fig15_16.run(scale_factor=8, cross_pcts=(10,),
+                             measure_us=15_000.0, n_epochs=2),
+        rounds=1, iterations=1)

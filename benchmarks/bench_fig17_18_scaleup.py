@@ -1,0 +1,42 @@
+"""Figures 17 and 18 (Appendix F.1): transactional scale-up.
+
+Paper shape: shared-everything-with-affinity and shared-nothing-async
+scale near-linearly with warehouses (affinity preserved; per-core
+throughput at scale 16 stays close to scale 1), with the affinity
+deployment slightly ahead; shared-everything-without-affinity scales
+worst because round-robin routing destroys locality.
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig17_18
+
+PARAMS = dict(scale_factors=(1, 2, 4, 8, 16), measure_us=40_000.0,
+              n_epochs=4)
+
+
+def test_fig17_18_scaleup(benchmark):
+    points = fig17_18.run(**PARAMS)
+    emit_report("fig17_18", fig17_18.report, points)
+
+    def tput(strategy):
+        return {p.scale_factor: p.throughput_ktps for p in points
+                if p.strategy == strategy}
+
+    se_aff = tput("shared-everything-with-affinity")
+    sn = tput("shared-nothing-async")
+    se_rr = tput("shared-everything-without-affinity")
+
+    # Near-linear scaling for the affinity-preserving deployments.
+    assert se_aff[16] > 10 * se_aff[1]
+    assert sn[16] > 9 * sn[1]
+    # The two track each other closely (within 15%).
+    for sf in PARAMS["scale_factors"]:
+        assert abs(se_aff[sf] - sn[sf]) / se_aff[sf] < 0.15
+    # Round-robin scales clearly worse.
+    assert se_rr[16] < 0.75 * se_aff[16]
+
+    benchmark.pedantic(
+        lambda: fig17_18.run(scale_factors=(4,),
+                             measure_us=15_000.0, n_epochs=2),
+        rounds=1, iterations=1)

@@ -1,0 +1,42 @@
+"""Figure 19 (Appendix G): query- vs procedure-level parallelism.
+
+Paper shape: as the sim_risk computational load grows, sequential and
+query-parallelism latencies rise ~15x faster than procedure-
+parallelism's (sim_risk is serialized at the exchange in both classic
+strategies); at 10^6 random draws per provider, procedure-parallelism
+wins by roughly an order of magnitude (8.14x / 8.57x in the paper).
+"""
+
+from _util import emit_report
+
+from repro.experiments import fig19
+
+PARAMS = dict(random_loads=(10, 1000, 100_000, 1_000_000),
+              n_txns=10, orders_per_provider=600, window=200)
+
+
+def test_fig19_procedure_parallelism(benchmark):
+    results = fig19.run(**PARAMS)
+    emit_report("fig19", fig19.report, results)
+
+    heavy = 1_000_000
+    seq = results["sequential"][heavy]
+    query = results["query-parallelism"][heavy]
+    proc = results["procedure-parallelism"][heavy]
+    # Order-of-magnitude win for holistic procedure parallelization.
+    assert seq / proc > 5.0
+    assert query / proc > 5.0
+    # Query parallelism beats sequential when compute is light
+    # (the parallel scan; paper tunes this to ~4x).
+    light = 10
+    assert results["sequential"][light] > \
+        2.0 * results["query-parallelism"][light]
+    # Procedure-parallelism is the most resilient to load growth.
+    growth_proc = proc / results["procedure-parallelism"][light]
+    growth_seq = seq / results["sequential"][light]
+    assert growth_seq > 3.0 * growth_proc
+
+    benchmark.pedantic(
+        lambda: fig19.run(random_loads=(1000,), n_txns=5,
+                          orders_per_provider=300, window=100),
+        rounds=2, iterations=1)

@@ -1,0 +1,43 @@
+"""Table 1 (Appendix D): cost-model validation on TPC-C new-order.
+
+Paper shape: with one worker the prediction (plus measured commit and
+input-generation costs) fits the observed latency at both 1% and 100%
+cross-reactor access; 100% cross-reactor latency grows only modestly
+over 1% thanks to overlapped sub-transactions; four workers raise
+throughput ~4x at 1% but queueing bites at 100%.
+"""
+
+from _util import emit_report
+
+from repro.experiments import table1
+
+PARAMS = dict(scale_factor=4, measure_us=60_000.0, n_epochs=4)
+
+
+def test_table1_neworder_cost_model(benchmark):
+    rows = table1.run(**PARAMS)
+    emit_report("table1", table1.report, rows)
+
+    by_key = {(r.cross_reactor_pct, r.workers): r for r in rows}
+    obs_1_local = by_key[(1, 1)]
+    obs_1_remote = by_key[(100, 1)]
+
+    # Prediction quality with one worker (paper: "excellent fit").
+    for row in (obs_1_local, obs_1_remote):
+        assert row.predicted_with_commit_ms is not None
+        error = abs(row.predicted_with_commit_ms -
+                    row.observed_latency_ms) / row.observed_latency_ms
+        assert error < 0.45
+
+    # Overlap keeps the 100% cross-reactor penalty modest (< 2.2x).
+    assert obs_1_remote.observed_latency_ms < \
+        2.2 * obs_1_local.observed_latency_ms
+
+    # More workers, more throughput.
+    assert by_key[(1, 4)].observed_tps > \
+        2.5 * by_key[(1, 1)].observed_tps
+
+    benchmark.pedantic(
+        lambda: table1.run(scale_factor=4, measure_us=15_000.0,
+                           n_epochs=2),
+        rounds=1, iterations=1)

@@ -1,0 +1,62 @@
+"""Static safety analysis of reactor applications.
+
+The paper's runtime enforces the dynamic safety condition of Section
+2.2.4; its future work asks for *static* checks to find dangerous
+call structures at development time.  This example runs the
+implemented checker (`repro.analysis`) over every workload in this
+repository and over a deliberately broken application, showing what a
+developer would see.
+
+Run:  python examples/static_safety_check.py
+"""
+
+from repro.analysis import analyze
+from repro.core.reactor import ReactorType
+from repro.relational import int_col, make_schema
+from repro.workloads.exchange import CLASSIC_EXCHANGE, EXCHANGE, \
+    ORDERS_FRAGMENT, PROVIDER
+from repro.workloads.smallbank import CUSTOMER
+from repro.workloads.tpcc import WAREHOUSE
+
+
+def check(label, rtypes):
+    report = analyze(rtypes)
+    print(f"\n=== {label} "
+          f"({len(report.call_sites)} cross-reactor call sites) ===")
+    if report.ok():
+        print("  clean: no dangerous structures detected")
+        return
+    for warning in report.warnings:
+        print(f"  {warning}")
+
+
+def broken_application():
+    """Mutual recursion across reactors: a guaranteed cycle."""
+    node = ReactorType("BrokenNode", lambda: [
+        make_schema("kv", [int_col("k"), int_col("v")], ["k"]),
+    ])
+
+    @node.procedure
+    def ping(ctx, other):
+        fut = yield ctx.call(other, "pong", ctx.my_name())
+        yield ctx.get(fut)
+
+    @node.procedure
+    def pong(ctx, origin):
+        fut = yield ctx.call(origin, "ping", ctx.my_name())
+        yield ctx.get(fut)
+
+    return node
+
+
+if __name__ == "__main__":
+    check("Smallbank (Customer)", [CUSTOMER])
+    check("TPC-C (Warehouse)", [WAREHOUSE])
+    check("Exchange, reactor model", [EXCHANGE, PROVIDER])
+    check("Exchange, classic/partitioned",
+          [CLASSIC_EXCHANGE, ORDERS_FRAGMENT])
+    check("deliberately broken app", [broken_application()])
+    print("\nFan-out warnings are conservative: the flagged loops are "
+          "safe because\nthe workloads deduplicate destinations (or "
+          "batch per target) — exactly the\nkind of invariant a "
+          "developer documents when suppressing the warning.")

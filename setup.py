@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+Allows ``python setup.py develop`` in offline environments whose
+setuptools predates PEP 660 editable installs (no ``wheel`` package).
+All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

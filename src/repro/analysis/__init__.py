@@ -1,0 +1,22 @@
+"""Static program analysis for the reactor model.
+
+Implements the paper's future-work static checks for dangerous call
+structures (Section 2.2.4): call-graph cycle detection and fan-out
+race warnings over reactor procedure source code.
+"""
+
+from repro.analysis.static_safety import (
+    AnalysisReport,
+    CallSite,
+    Warning_,
+    analyze,
+    extract_call_sites,
+)
+
+__all__ = [
+    "analyze",
+    "extract_call_sites",
+    "AnalysisReport",
+    "CallSite",
+    "Warning_",
+]

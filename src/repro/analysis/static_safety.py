@@ -1,0 +1,248 @@
+"""Static detection of dangerous call structures.
+
+The paper's runtime enforces the dynamic safety condition (Section
+2.2.4) and names "formalizing static program checks to aid in
+detection of dangerous call structures among reactors" as future
+work.  This module implements such a checker over procedure source
+code: it extracts cross-reactor call sites by AST analysis, builds a
+procedure-level call graph, and reports
+
+* **cycles** in the call graph — programs that *may* re-enter a
+  reactor already active in the same root transaction (the cyclic
+  structures the dynamic condition prohibits);
+* **fan-out races** — multiple asynchronous call sites (or a call
+  inside a loop) whose targets are not statically distinct, which
+  race the same reactor whenever two targets coincide at runtime.
+
+The analysis is conservative by design: it cannot prove targets
+distinct (reactor names are runtime values), so it warns on
+possibility, mirroring how the dynamic condition "conservatively
+assumes that conflicts may arise".  Suppress a warning by verifying
+the input-generation invariant (e.g. deduplicated destination lists)
+and documenting it.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import textwrap
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.reactor import ReactorType
+from repro.formal.serializability import has_cycle
+
+SELF_TARGET = "<self>"
+UNKNOWN_TARGET = "<unknown>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One ``ctx.call(target, "proc", ...)`` occurrence."""
+
+    caller_type: str
+    caller_proc: str
+    target: str  # literal reactor name, SELF_TARGET or UNKNOWN_TARGET
+    callee_proc: str | None  # None when not a string literal
+    in_loop: bool
+    line: int
+
+
+@dataclass(frozen=True)
+class Warning_:
+    """One finding of the static checker."""
+
+    kind: str  # "cycle" | "fanout-race"
+    procedures: tuple[str, ...]
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting
+        return f"[{self.kind}] {' -> '.join(self.procedures)}: " \
+            f"{self.detail}"
+
+
+@dataclass
+class AnalysisReport:
+    call_sites: list[CallSite] = field(default_factory=list)
+    warnings: list[Warning_] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> list[Warning_]:
+        return [w for w in self.warnings if w.kind == "cycle"]
+
+    @property
+    def fanout_races(self) -> list[Warning_]:
+        return [w for w in self.warnings if w.kind == "fanout-race"]
+
+    def ok(self) -> bool:
+        return not self.warnings
+
+
+class _CallVisitor(ast.NodeVisitor):
+    """Collects ctx.call sites and their loop nesting."""
+
+    def __init__(self, caller_type: str, caller_proc: str,
+                 ctx_name: str) -> None:
+        self.caller_type = caller_type
+        self.caller_proc = caller_proc
+        self.ctx_name = ctx_name
+        self.sites: list[CallSite] = []
+        self._loop_depth = 0
+
+    def visit_For(self, node: ast.For) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_While(self, node: ast.While) -> None:
+        self._loop_depth += 1
+        self.generic_visit(node)
+        self._loop_depth -= 1
+
+    def visit_Call(self, node: ast.Call) -> None:
+        function = node.func
+        is_ctx_call = (
+            isinstance(function, ast.Attribute)
+            and function.attr == "call"
+            and isinstance(function.value, ast.Name)
+            and function.value.id == self.ctx_name
+        )
+        if is_ctx_call and node.args:
+            self.sites.append(CallSite(
+                caller_type=self.caller_type,
+                caller_proc=self.caller_proc,
+                target=self._target_of(node.args[0]),
+                callee_proc=self._literal_str(node.args[1])
+                if len(node.args) > 1 else None,
+                in_loop=self._loop_depth > 0,
+                line=node.lineno,
+            ))
+        self.generic_visit(node)
+
+    def _target_of(self, expr: ast.expr) -> str:
+        literal = self._literal_str(expr)
+        if literal is not None:
+            return literal
+        # ctx.my_name() is a self-call: inlined, never dangerous.
+        if (isinstance(expr, ast.Call)
+                and isinstance(expr.func, ast.Attribute)
+                and expr.func.attr == "my_name"
+                and isinstance(expr.func.value, ast.Name)
+                and expr.func.value.id == self.ctx_name):
+            return SELF_TARGET
+        return UNKNOWN_TARGET
+
+    @staticmethod
+    def _literal_str(expr: ast.expr) -> str | None:
+        if isinstance(expr, ast.Constant) and \
+                isinstance(expr.value, str):
+            return expr.value
+        return None
+
+
+def extract_call_sites(rtype: ReactorType) -> list[CallSite]:
+    """All cross-reactor call sites in a reactor type's procedures."""
+    sites: list[CallSite] = []
+    for proc_name, proc in sorted(rtype.procedures.items()):
+        try:
+            source = textwrap.dedent(inspect.getsource(proc))
+        except (OSError, TypeError):  # builtins, exec'd code...
+            continue
+        tree = ast.parse(source)
+        function = tree.body[0]
+        if not isinstance(function,
+                          (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        ctx_name = function.args.args[0].arg if function.args.args \
+            else "ctx"
+        visitor = _CallVisitor(rtype.name, proc_name, ctx_name)
+        visitor.visit(function)
+        sites.extend(visitor.sites)
+    return sites
+
+
+def analyze(rtypes: Iterable[ReactorType]) -> AnalysisReport:
+    """Run the static checker over a set of reactor types.
+
+    The call graph is procedure-level: an edge ``caller -> callee``
+    exists for every call site naming ``callee`` as a string literal
+    (calls with dynamic procedure names conservatively connect to
+    every procedure of that name across the given types).
+    """
+    rtypes = list(rtypes)
+    report = AnalysisReport()
+    known_procs = {proc: rtype.name for rtype in rtypes
+                   for proc in rtype.procedures}
+
+    for rtype in rtypes:
+        report.call_sites.extend(extract_call_sites(rtype))
+
+    # -- cycle detection over the procedure call graph ----------------
+    nodes = set(known_procs)
+    edges: set[tuple[str, str]] = set()
+    for site in report.call_sites:
+        if site.callee_proc is not None and \
+                site.callee_proc in known_procs and \
+                site.target != SELF_TARGET:
+            edges.add((site.caller_proc, site.callee_proc))
+    if has_cycle(nodes, edges):
+        cycle_members = _cycle_members(nodes, edges)
+        report.warnings.append(Warning_(
+            kind="cycle",
+            procedures=tuple(sorted(cycle_members)),
+            detail="cross-reactor call cycle: a transaction may "
+                   "re-enter a reactor it is already active on "
+                   "(dangerous structure, Section 2.2.4)",
+        ))
+
+    # -- fan-out race detection per procedure --------------------------
+    by_proc: dict[str, list[CallSite]] = {}
+    for site in report.call_sites:
+        if site.target != SELF_TARGET:
+            by_proc.setdefault(site.caller_proc, []).append(site)
+    for proc_name, sites in sorted(by_proc.items()):
+        looped = [s for s in sites if s.in_loop]
+        distinct_literals = {s.target for s in sites
+                             if s.target not in (UNKNOWN_TARGET,)}
+        unknowns = [s for s in sites if s.target == UNKNOWN_TARGET]
+        risky = bool(looped) or len(unknowns) >= 2
+        if risky:
+            lines = sorted({s.line for s in (looped or unknowns)})
+            report.warnings.append(Warning_(
+                kind="fanout-race",
+                procedures=(proc_name,),
+                detail=(
+                    "multiple asynchronous call sites with "
+                    "statically indistinct targets (lines "
+                    f"{lines}); two coinciding targets at runtime "
+                    "violate the safety condition unless results "
+                    "are awaited in between or targets are "
+                    "deduplicated"
+                ),
+            ))
+        del distinct_literals
+    return report
+
+
+def _cycle_members(nodes: set[str],
+                   edges: set[tuple[str, str]]) -> set[str]:
+    """Nodes on at least one cycle (nodes reachable from themselves)."""
+    adjacency: dict[str, set[str]] = {n: set() for n in nodes}
+    for src, dst in edges:
+        adjacency.setdefault(src, set()).add(dst)
+        adjacency.setdefault(dst, set())
+    members = set()
+    for start in adjacency:
+        seen: set[str] = set()
+        stack = list(adjacency[start])
+        while stack:
+            node = stack.pop()
+            if node == start:
+                members.add(start)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(adjacency[node])
+    return members

@@ -1,0 +1,32 @@
+"""Benchmark harness: workers, epoch metrics, experiment driver.
+
+Methodology mirrors the paper (Section 4.1.2): epoch-based measurement
+after OLTP-Bench, closed-loop client workers in a separate worker
+container, latency measured including input generation, and mean/std
+reported across epochs.
+"""
+
+from repro.bench.harness import (
+    MeasurementResult,
+    run_measurement,
+    single_worker_latency,
+)
+from repro.bench.metrics import RunSummary, mean, percentile, stddev, summarize
+from repro.bench.report import format_table, print_series, print_table
+from repro.bench.worker import Worker, spawn_workers
+
+__all__ = [
+    "Worker",
+    "spawn_workers",
+    "run_measurement",
+    "single_worker_latency",
+    "MeasurementResult",
+    "RunSummary",
+    "summarize",
+    "mean",
+    "stddev",
+    "percentile",
+    "format_table",
+    "print_table",
+    "print_series",
+]

@@ -1,0 +1,73 @@
+"""ASCII reporting of experiment series.
+
+Each experiment module prints the same rows/series the paper's figure
+or table reports, via these small helpers — no plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[Any]]) -> str:
+    """Render a fixed-width table."""
+    cells = [[_fmt(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) if _numeric(cell)
+                      else cell.ljust(widths[i])
+                      for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence[Any]]) -> None:
+    print(f"\n== {title} ==")
+    print(format_table(headers, rows))
+
+
+def print_series(title: str, x_label: str, series: dict[str, dict],
+                 unit: str = "") -> None:
+    """Print multiple named series sharing an x axis.
+
+    ``series`` maps series name -> {x value -> y value}.
+    """
+    xs = sorted({x for ys in series.values() for x in ys})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row: list[Any] = [x]
+        for name in series:
+            row.append(series[name].get(x, ""))
+        rows.append(row)
+    suffix = f" [{unit}]" if unit else ""
+    print_table(title + suffix, headers, rows)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def _numeric(cell: str) -> bool:
+    try:
+        float(cell.replace(",", ""))
+        return True
+    except ValueError:
+        return False

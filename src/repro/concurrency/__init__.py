@@ -1,0 +1,41 @@
+"""Concurrency control: Silo-style OCC, epochs/TIDs, and 2PC.
+
+Single-container transactions validate with the container's
+:class:`~repro.concurrency.occ.ConcurrencyManager`; transactions that
+span containers commit through
+:class:`~repro.concurrency.coordinator.TwoPhaseCommit`.  Correctness
+rests on Theorem 2.7 of the paper: a serializable scheduler for the
+classic transactional model implements one for the reactor model (see
+:mod:`repro.formal` for the executable formalization).
+"""
+
+from repro.concurrency.coordinator import CommitOutcome, TwoPhaseCommit
+from repro.concurrency.occ import (
+    ConcurrencyManager,
+    OCCSession,
+    ScanResult,
+    WriteIntent,
+)
+from repro.concurrency.tid import (
+    EPOCH_PERIOD_US,
+    EpochManager,
+    TidGenerator,
+    make_tid,
+    tid_epoch,
+    tid_seq,
+)
+
+__all__ = [
+    "ConcurrencyManager",
+    "OCCSession",
+    "ScanResult",
+    "WriteIntent",
+    "TwoPhaseCommit",
+    "CommitOutcome",
+    "EpochManager",
+    "TidGenerator",
+    "make_tid",
+    "tid_epoch",
+    "tid_seq",
+    "EPOCH_PERIOD_US",
+]

@@ -1,0 +1,85 @@
+"""Transaction identifiers and epochs (Silo-style).
+
+Silo assigns each committed transaction a TID composed of an epoch
+number and a per-worker sequence, such that TIDs order transactions
+consistently with their serial order within an epoch.  Our simulated
+reproduction keeps the same structure — ``(epoch << SEQ_BITS) | seq`` —
+with a per-container sequence counter.  Epochs advance on virtual-time
+boundaries; they matter for TID comparison semantics and are exercised
+by tests, though we do not implement durability (the paper's prototype
+does not either).
+"""
+
+from __future__ import annotations
+
+SEQ_BITS = 32
+SEQ_MASK = (1 << SEQ_BITS) - 1
+
+#: Virtual microseconds per epoch (Silo uses 40 ms wall-clock epochs).
+EPOCH_PERIOD_US = 40_000.0
+
+
+def make_tid(epoch: int, seq: int) -> int:
+    """Pack an epoch and sequence number into a TID."""
+    if seq > SEQ_MASK:
+        raise OverflowError("sequence number overflow within epoch")
+    return (epoch << SEQ_BITS) | seq
+
+
+def tid_epoch(tid: int) -> int:
+    return tid >> SEQ_BITS
+
+
+def tid_seq(tid: int) -> int:
+    return tid & SEQ_MASK
+
+
+class EpochManager:
+    """Advances the global epoch with virtual time."""
+
+    def __init__(self, period_us: float = EPOCH_PERIOD_US) -> None:
+        if period_us <= 0:
+            raise ValueError("epoch period must be positive")
+        self.period_us = period_us
+        self._epoch = 1
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    def observe_time(self, now_us: float) -> int:
+        """Advance the epoch to cover the given virtual time."""
+        target = 1 + int(now_us / self.period_us)
+        if target > self._epoch:
+            self._epoch = target
+        return self._epoch
+
+
+class TidGenerator:
+    """Per-container monotonic TID source.
+
+    The commit TID of a transaction must exceed every TID in its read
+    and write sets (Silo's rule); callers pass that floor via
+    ``at_least``.
+    """
+
+    def __init__(self, epochs: EpochManager) -> None:
+        self._epochs = epochs
+        self._last = make_tid(epochs.epoch, 0)
+
+    @property
+    def last(self) -> int:
+        return self._last
+
+    def next_tid(self, now_us: float, at_least: int = 0) -> int:
+        epoch = self._epochs.observe_time(now_us)
+        floor = max(self._last, at_least, make_tid(epoch, 0))
+        tid = make_tid(max(tid_epoch(floor), epoch),
+                       tid_seq(floor) + 1)
+        self._last = tid
+        return tid
+
+    def advance_to(self, tid: int) -> None:
+        """Raise the local counter (used after 2PC picks a global TID)."""
+        if tid > self._last:
+            self._last = tid

@@ -1,0 +1,43 @@
+"""The reactor programming model: types, contexts, deployments, ReactDB.
+
+Public entry points:
+
+* :class:`~repro.core.reactor.ReactorType` — declare schemas and
+  procedures for a class of reactors;
+* :class:`~repro.core.database.ReactorDatabase` — instantiate a reactor
+  database on a simulated machine under a chosen deployment;
+* deployment factories for the paper's three architectures.
+"""
+
+from repro.core.context import ReactorContext
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    AFFINITY,
+    ROUND_ROBIN,
+    ContainerSpec,
+    DeploymentConfig,
+    ExplicitPlacement,
+    Placement,
+    RangePlacement,
+    shared_everything_with_affinity,
+    shared_everything_without_affinity,
+    shared_nothing,
+)
+from repro.core.reactor import Reactor, ReactorType
+
+__all__ = [
+    "ReactorType",
+    "Reactor",
+    "ReactorContext",
+    "ReactorDatabase",
+    "DeploymentConfig",
+    "ContainerSpec",
+    "Placement",
+    "RangePlacement",
+    "ExplicitPlacement",
+    "shared_everything_without_affinity",
+    "shared_everything_with_affinity",
+    "shared_nothing",
+    "ROUND_ROBIN",
+    "AFFINITY",
+]

@@ -1,0 +1,235 @@
+"""Execution contexts for reactor procedures.
+
+A :class:`ReactorContext` is the first argument of every procedure.  It
+provides:
+
+* **declarative queries over the reactor's own relations** —
+  :meth:`select`, :meth:`lookup`, :meth:`insert`, :meth:`update`,
+  :meth:`delete`, :meth:`run_query` — executed under the root
+  transaction's OCC session (read-your-writes, validated at commit);
+* **asynchronous procedure calls to other reactors** — ``yield
+  ctx.call(name, proc, *args)`` returns a future, ``yield
+  ctx.get(future)`` waits on it (paper syntax: ``proc(args) on reactor
+  name``);
+* **simulated computation** — ``yield ctx.compute(micros)`` for CPU
+  kernels such as ``sim_risk``;
+* utilities: :meth:`my_name`, :attr:`now`, :attr:`rng`, :meth:`abort`.
+
+Data operations do not need ``yield``: they execute immediately for
+data purposes and accrue simulated CPU cost that the executor charges
+at the next suspension point.  All cross-reactor state access *must*
+go through :meth:`call` — the context physically cannot reach another
+reactor's tables, enforcing state encapsulation by construction.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Iterable, Mapping
+
+from repro.errors import UserAbort
+from repro.relational.predicate import ALWAYS, Predicate
+from repro.relational.query import Query, Row
+from repro.runtime.effects import CallEffect, ChargeEffect, GetEffect
+from repro.runtime.futures import SimFuture
+
+
+def _as_pk(pk: Any) -> tuple:
+    """Normalize a primary key argument to a tuple."""
+    if isinstance(pk, tuple):
+        return pk
+    return (pk,)
+
+
+class ReactorContext:
+    """Procedure-facing API bound to one reactor within one frame."""
+
+    __slots__ = ("_reactor", "_root", "_task", "_costs", "_rng")
+
+    def __init__(self, reactor: Any, root: Any, task: Any,
+                 costs: Any) -> None:
+        self._reactor = reactor
+        self._root = root
+        self._task = task
+        self._costs = costs
+        self._rng: random.Random | None = None
+
+    # ------------------------------------------------------------------
+    # Identity and environment
+    # ------------------------------------------------------------------
+
+    def my_name(self) -> str:
+        """The name of the reactor this procedure executes on."""
+        return self._reactor.name
+
+    @property
+    def reactor_type(self) -> str:
+        return self._reactor.rtype.name
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._task.executor.scheduler.now
+
+    @property
+    def rng(self) -> random.Random:
+        """Deterministic per-transaction random stream.
+
+        Procedures may be nondeterministic (the paper allows it, citing
+        MCDB-R); seeding from the root transaction id keeps whole
+        simulation runs reproducible anyway.
+        """
+        if self._rng is None:
+            self._rng = random.Random(
+                f"txn-{self._root.txn_id}/{self._reactor.name}")
+        return self._rng
+
+    @property
+    def costs(self) -> Any:
+        return self._costs
+
+    def abort(self, reason: str = "application abort") -> None:
+        """Abort the root transaction (user-defined abort condition)."""
+        raise UserAbort(reason)
+
+    # ------------------------------------------------------------------
+    # Cross-reactor asynchronous procedure calls
+    # ------------------------------------------------------------------
+
+    def call(self, reactor_name: str, proc_name: str, *args: Any,
+             **kwargs: Any) -> CallEffect:
+        """Asynchronous call: ``fut = yield ctx.call(...)``.
+
+        The paper's ``proc(args) on reactor name`` syntax.  Yields a
+        :class:`~repro.runtime.futures.SimFuture`; the call executes
+        synchronously inline when the target reactor is served by the
+        current transaction executor (self-calls and shared-everything
+        deployments), asynchronously on the target executor otherwise.
+        """
+        return CallEffect(reactor_name, proc_name, args, kwargs)
+
+    def get(self, future: SimFuture) -> GetEffect:
+        """Wait for a future: ``value = yield ctx.get(fut)``."""
+        return GetEffect(future)
+
+    def compute(self, micros: float) -> ChargeEffect:
+        """Consume ``micros`` of simulated CPU: ``yield ctx.compute(x)``."""
+        return ChargeEffect(micros, "exec")
+
+    def simulate_random_work(self, n_randoms: int) -> ChargeEffect:
+        """CPU charge equivalent to generating ``n_randoms`` numbers.
+
+        Models the ``sim_risk`` kernel and TPC-C stock-replenishment
+        delays exactly as the paper's experiments do.
+        """
+        return ChargeEffect(n_randoms * self._costs.rand_cost, "exec")
+
+    # ------------------------------------------------------------------
+    # Declarative queries on the encapsulated relations
+    # ------------------------------------------------------------------
+
+    @property
+    def _session(self) -> Any:
+        session = self._root.session_for(self._reactor.container)
+        recorder = self._reactor.container.database.history_recorder
+        if recorder is not None:
+            return recorder.wrap(session, self._reactor, self._task)
+        return session
+
+    def _charge_ops(self, unit_cost: float, count: int = 1) -> None:
+        factor = self._root.touched_reactors.get(
+            self._reactor.name, 1.0)
+        self._task.pending_charge += unit_cost * count * factor
+
+    def lookup(self, table_name: str, pk: Any) -> Row | None:
+        """Point read by primary key; ``None`` when absent."""
+        table = self._reactor.table(table_name)
+        row, examined = self._session.read(table, _as_pk(pk))
+        self._charge_ops(self._costs.read_cost, max(examined, 1))
+        return row
+
+    def select(self, table_name: str, where: Predicate = ALWAYS,
+               index: str | None = None, low: tuple | None = None,
+               high: tuple | None = None, reverse: bool = False,
+               limit: int | None = None) -> list[Row]:
+        """Predicate/range scan over one relation of this reactor."""
+        table = self._reactor.table(table_name)
+        result = self._session.scan(
+            table, where, index=index, low=low, high=high,
+            reverse=reverse, limit=limit)
+        self._charge_ops(self._costs.scan_row_cost,
+                         max(result.examined, 1))
+        return result.rows
+
+    def select_one(self, table_name: str, where: Predicate = ALWAYS,
+                   **scan_kwargs: Any) -> Row | None:
+        """First matching row or ``None`` (SELECT ... INTO idiom)."""
+        rows = self.select(table_name, where, limit=1, **scan_kwargs)
+        return rows[0] if rows else None
+
+    def run_query(self, table_name: str, query: Query,
+                  where: Predicate = ALWAYS) -> list[Row]:
+        """Run a :class:`~repro.relational.query.Query` pipeline
+        (grouping, aggregates, ordering) over this reactor's rows."""
+        rows = self.select(table_name, where)
+        return query.run(rows)
+
+    def insert(self, table_name: str, row: Mapping[str, Any]) -> None:
+        table = self._reactor.table(table_name)
+        examined = self._session.insert(table, row)
+        self._charge_ops(self._costs.insert_cost, examined)
+
+    def update(self, table_name: str, pk: Any,
+               values: Mapping[str, Any]) -> Row:
+        """Read-modify-write one row by primary key; returns the new
+        image.  Raises :class:`~repro.errors.RecordNotFound` if absent."""
+        table = self._reactor.table(table_name)
+        new_row, examined = self._session.update(
+            table, _as_pk(pk), values)
+        self._charge_ops(self._costs.write_cost, max(examined, 1))
+        return new_row
+
+    def update_where(self, table_name: str, where: Predicate,
+                     values: Mapping[str, Any]) -> int:
+        """Update all rows matching a predicate; returns the count."""
+        table = self._reactor.table(table_name)
+        rows = self.select(table_name, where)
+        for row in rows:
+            pk = table.schema.primary_key_of(row)
+            self._session.update(table, pk, values)
+        self._charge_ops(self._costs.write_cost, len(rows))
+        return len(rows)
+
+    def delete(self, table_name: str, pk: Any) -> None:
+        table = self._reactor.table(table_name)
+        examined = self._session.delete(table, _as_pk(pk))
+        self._charge_ops(self._costs.delete_cost, examined)
+
+    def delete_where(self, table_name: str, where: Predicate) -> int:
+        """Delete all rows matching a predicate; returns the count."""
+        table = self._reactor.table(table_name)
+        rows = self.select(table_name, where)
+        for row in rows:
+            pk = table.schema.primary_key_of(row)
+            self._session.delete(table, pk)
+        self._charge_ops(self._costs.delete_cost, len(rows))
+        return len(rows)
+
+    def sql(self, text: str, *params: Any) -> Any:
+        """Execute a SQL statement against this reactor's relations.
+
+        The stored-procedure surface of the paper's examples::
+
+            rows = ctx.sql("SELECT SUM(value) AS exposure FROM orders "
+                           "WHERE settled = 'N'")
+            ctx.sql("INSERT INTO orders (wallet, value, settled) "
+                    "VALUES (?, ?, 'N')", wallet, value)
+
+        SELECT returns rows; UPDATE/DELETE return affected counts.
+        """
+        from repro.relational.sql import execute
+
+        return execute(self, text, params)
+
+    def table_names(self) -> Iterable[str]:
+        return self._reactor.catalog.table_names()

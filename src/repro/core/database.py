@@ -1,0 +1,223 @@
+"""ReactDB: the reactor database facade.
+
+:class:`ReactorDatabase` assembles everything: it takes the reactor
+declarations (names and types — the purely logical application model)
+and a :class:`~repro.core.deployment.DeploymentConfig` (the physical
+architecture choice), builds containers, transaction executors and
+reactor instances on the simulated machine, and exposes the client
+driver interface:
+
+* :meth:`submit` — asynchronous invocation with a completion callback
+  (used by workload workers);
+* :meth:`run` — synchronous convenience for applications/examples:
+  drives the simulation until the transaction finishes and returns the
+  procedure's result (raising on abort);
+* :meth:`load` — non-transactional bulk loading for benchmark setup.
+
+The same application (reactor types + procedures + declarations) runs
+unchanged under any deployment — asserting that is one of the
+integration test suites.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.concurrency.occ import ConcurrencyManager
+from repro.concurrency.tid import EpochManager
+from repro.core.deployment import ROUND_ROBIN, DeploymentConfig
+from repro.core.reactor import Reactor, ReactorType
+from repro.errors import (
+    DeploymentError,
+    TransactionAbort,
+    UnknownReactorError,
+)
+from repro.runtime.container import Container
+from repro.runtime.executor import Invocation, TransactionExecutor
+from repro.runtime.transaction import RootTransaction, TxnStats
+from repro.sim.scheduler import SimScheduler
+
+
+class ReactorDatabase:
+    """An instantiated reactor database on a simulated machine."""
+
+    def __init__(self, deployment: DeploymentConfig,
+                 reactors: Sequence[tuple[str, ReactorType]],
+                 scheduler: SimScheduler | None = None) -> None:
+        self.deployment = deployment
+        self.scheduler = scheduler or SimScheduler()
+        self.costs = deployment.machine.costs
+        self.epochs = EpochManager()
+        self.containers: list[Container] = []
+        self.executors: list[TransactionExecutor] = []
+        self._reactors: dict[str, Reactor] = {}
+        self._txn_counter = 0
+        self._root_route_counter = 0
+        #: Optional operation-level history capture for
+        #: serializability audits (see repro.formal.audit).
+        self.history_recorder: Any = None
+        self._build(reactors)
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _build(self, reactors: Sequence[tuple[str, ReactorType]]) -> None:
+        deployment = self.deployment
+        if deployment.total_executors > \
+                deployment.machine.hardware_threads:
+            raise DeploymentError(
+                f"deployment wants {deployment.total_executors} "
+                f"executors but machine "
+                f"{deployment.machine.name!r} has only "
+                f"{deployment.machine.hardware_threads} hardware threads"
+            )
+        core_id = 0
+        for cid, spec in enumerate(deployment.containers):
+            concurrency = ConcurrencyManager(
+                cid, self.epochs, enabled=deployment.cc_enabled)
+            container = Container(cid, self, concurrency)
+            for __ in range(spec.executors):
+                executor = container.add_executor(core_id, spec.mpl)
+                self.executors.append(executor)
+                core_id += 1
+            self.containers.append(container)
+        #: first core id available for client workers.
+        self.first_worker_core = core_id
+
+        n_containers = len(self.containers)
+        for index, (name, rtype) in enumerate(reactors):
+            if name in self._reactors:
+                raise DeploymentError(f"duplicate reactor name {name!r}")
+            reactor = Reactor(name, rtype)
+            cid = deployment.placement.container_for(
+                name, index, n_containers)
+            if not 0 <= cid < n_containers:
+                raise DeploymentError(
+                    f"placement put reactor {name!r} in container {cid}, "
+                    f"but only {n_containers} exist"
+                )
+            container = self.containers[cid]
+            reactor.container = container
+            executor = container.executors[
+                index % len(container.executors)]
+            reactor.affinity_executor = executor
+            if deployment.pin_reactors:
+                reactor.pinned_executor = executor
+            self._reactors[name] = reactor
+
+    # ------------------------------------------------------------------
+    # Registry
+    # ------------------------------------------------------------------
+
+    def reactor(self, name: str) -> Reactor:
+        try:
+            return self._reactors[name]
+        except KeyError:
+            raise UnknownReactorError(
+                f"no reactor named {name!r} was declared"
+            ) from None
+
+    def reactor_names(self) -> list[str]:
+        return sorted(self._reactors)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._reactors
+
+    # ------------------------------------------------------------------
+    # Client driver interface
+    # ------------------------------------------------------------------
+
+    def submit(self, reactor_name: str, proc_name: str, *args: Any,
+               on_done: Callable[..., None] | None = None,
+               **kwargs: Any) -> RootTransaction:
+        """Send a root transaction into the system (asynchronous).
+
+        ``on_done(root, committed, reason, result)`` fires (in virtual
+        time) when the transaction completes.
+        """
+        reactor = self.reactor(reactor_name)
+        self._txn_counter += 1
+        root = RootTransaction(
+            txn_id=self._txn_counter,
+            procedure=proc_name,
+            reactor_name=reactor_name,
+            start_time=self.scheduler.now,
+        )
+        invocation = Invocation(root, reactor, proc_name, args, kwargs,
+                                subtxn_id=0, on_root_done=on_done)
+        self._route_root(reactor).submit(invocation)
+        return root
+
+    def _route_root(self, reactor: Reactor) -> TransactionExecutor:
+        container = reactor.container
+        if self.deployment.routing == ROUND_ROBIN:
+            executor = container.executors[
+                self._root_route_counter % len(container.executors)]
+            self._root_route_counter += 1
+            return executor
+        return reactor.affinity_executor
+
+    def run(self, reactor_name: str, proc_name: str, *args: Any,
+            **kwargs: Any) -> Any:
+        """Execute one transaction to completion in virtual time.
+
+        Returns the procedure's return value; raises
+        :class:`~repro.errors.TransactionAbort` when the transaction
+        aborts (user abort, dangerous structure, or validation
+        failure).  Intended for applications and examples; benchmark
+        workloads use :meth:`submit` with workers instead.
+        """
+        box: dict[str, Any] = {}
+
+        def on_done(root: RootTransaction, committed: bool,
+                    reason: str | None, result: Any) -> None:
+            box["committed"] = committed
+            box["reason"] = reason
+            box["result"] = result
+
+        self.submit(reactor_name, proc_name, *args,
+                    on_done=on_done, **kwargs)
+        self.scheduler.run()
+        if "committed" not in box:
+            raise TransactionAbort(
+                "transaction did not complete; simulation stalled")
+        if not box["committed"]:
+            raise TransactionAbort(box["reason"] or "aborted")
+        return box["result"]
+
+    # ------------------------------------------------------------------
+    # Bulk loading and inspection
+    # ------------------------------------------------------------------
+
+    def load(self, reactor_name: str, table_name: str,
+             rows: Iterable[Mapping[str, Any]]) -> int:
+        """Load rows without concurrency control (benchmark setup)."""
+        table = self.reactor(reactor_name).table(table_name)
+        count = 0
+        for row in rows:
+            table.load_row(row)
+            count += 1
+        return count
+
+    def table_rows(self, reactor_name: str,
+                   table_name: str) -> list[dict[str, Any]]:
+        """Committed rows of one reactor's table (tests/inspection)."""
+        return self.reactor(reactor_name).table(table_name).rows()
+
+    def utilization_snapshot(self) -> dict[int, float]:
+        """Cumulative busy time per executor core."""
+        return {e.core_id: e.busy_time for e in self.executors}
+
+    def abort_counts(self) -> dict[str, int]:
+        """Validation statistics across containers."""
+        return {
+            "validations": sum(
+                c.concurrency.validations for c in self.containers),
+            "validation_failures": sum(
+                c.concurrency.validation_failures
+                for c in self.containers),
+        }
+
+
+__all__ = ["ReactorDatabase", "RootTransaction", "TxnStats"]

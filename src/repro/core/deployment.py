@@ -1,0 +1,254 @@
+"""Deployment configuration: virtualization of database architecture.
+
+The central systems claim of the paper is that database architecture —
+where shared-everything and shared-nothing are just two points of a
+spectrum — can be configured at deployment time *without changing
+application code*.  A :class:`DeploymentConfig` captures one such
+choice: how many containers, how many transaction executors per
+container, how root transactions are routed, and whether reactors are
+pinned to a single executor.
+
+The three strategies evaluated in the paper (Section 3.3) have factory
+functions:
+
+* :func:`shared_everything_without_affinity` (S1) — one container,
+  round-robin routing, all sub-calls inline;
+* :func:`shared_everything_with_affinity` (S2) — one container,
+  affinity routing (a root transaction on a reactor always runs on the
+  same executor), all sub-calls inline;
+* :func:`shared_nothing` (S3) — one container *per* executor, reactors
+  pinned, cross-container sub-calls migrate control.  ``-sync`` vs
+  ``-async`` is a property of the application programs, not of the
+  deployment.
+
+Configs serialize to/from plain dicts (and therefore JSON files): an
+infrastructure engineer edits a config file and bootstraps — no
+application change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.errors import DeploymentError
+from repro.sim.machine import (
+    XEON_E3_1276,
+    MachineProfile,
+    get_profile,
+)
+
+
+class Placement:
+    """Maps a reactor (by declaration index / name) to a container."""
+
+    kind = "modulo"
+
+    def container_for(self, name: str, index: int,
+                      n_containers: int) -> int:
+        return index % n_containers
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "Placement":
+        kind = data.get("kind", "modulo")
+        if kind == "modulo":
+            return Placement()
+        if kind == "range":
+            return RangePlacement(int(data["block_size"]))
+        if kind == "explicit":
+            return ExplicitPlacement(dict(data["mapping"]))
+        raise DeploymentError(f"unknown placement kind {kind!r}")
+
+
+class RangePlacement(Placement):
+    """Contiguous blocks: reactors [0..block) -> container 0, etc.
+
+    This is the paper's Smallbank deployment ("each container holds a
+    range of 1000 reactors") and the YCSB key-range deployment.
+    """
+
+    kind = "range"
+
+    def __init__(self, block_size: int) -> None:
+        if block_size < 1:
+            raise DeploymentError("block_size must be positive")
+        self.block_size = block_size
+
+    def container_for(self, name: str, index: int,
+                      n_containers: int) -> int:
+        return min(index // self.block_size, n_containers - 1)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "block_size": self.block_size}
+
+
+class ExplicitPlacement(Placement):
+    """Direct reactor-name -> container-index mapping."""
+
+    kind = "explicit"
+
+    def __init__(self, mapping: dict[str, int]) -> None:
+        self.mapping = mapping
+
+    def container_for(self, name: str, index: int,
+                      n_containers: int) -> int:
+        try:
+            return self.mapping[name]
+        except KeyError:
+            raise DeploymentError(
+                f"no explicit placement for reactor {name!r}"
+            ) from None
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "mapping": dict(self.mapping)}
+
+
+ROUND_ROBIN = "round_robin"
+AFFINITY = "affinity"
+
+
+@dataclass
+class ContainerSpec:
+    """Compute resources of one container."""
+
+    executors: int = 1
+    mpl: int = 1
+
+    def __post_init__(self) -> None:
+        if self.executors < 1:
+            raise DeploymentError("a container needs >= 1 executor")
+        if self.mpl < 1:
+            raise DeploymentError("MPL must be >= 1")
+
+
+@dataclass
+class DeploymentConfig:
+    """A complete architecture choice for one reactor database."""
+
+    name: str
+    containers: list[ContainerSpec]
+    routing: str = AFFINITY
+    pin_reactors: bool = False
+    machine: MachineProfile = field(default_factory=lambda: XEON_E3_1276)
+    placement: Placement = field(default_factory=Placement)
+    cc_enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.containers:
+            raise DeploymentError("at least one container is required")
+        if self.routing not in (ROUND_ROBIN, AFFINITY):
+            raise DeploymentError(
+                f"unknown routing policy {self.routing!r}"
+            )
+        if self.routing == ROUND_ROBIN and len(self.containers) > 1:
+            raise DeploymentError(
+                "round-robin routing models a shared-everything "
+                "deployment; use a single container"
+            )
+
+    @property
+    def total_executors(self) -> int:
+        return sum(spec.executors for spec in self.containers)
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "machine": self.machine.name,
+            "containers": [
+                {"executors": s.executors, "mpl": s.mpl}
+                for s in self.containers
+            ],
+            "routing": self.routing,
+            "pin_reactors": self.pin_reactors,
+            "placement": self.placement.to_dict(),
+            "cc_enabled": self.cc_enabled,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "DeploymentConfig":
+        return DeploymentConfig(
+            name=data["name"],
+            containers=[
+                ContainerSpec(executors=int(c.get("executors", 1)),
+                              mpl=int(c.get("mpl", 1)))
+                for c in data["containers"]
+            ],
+            routing=data.get("routing", AFFINITY),
+            pin_reactors=bool(data.get("pin_reactors", False)),
+            machine=get_profile(data.get("machine", XEON_E3_1276.name)),
+            placement=Placement.from_dict(
+                data.get("placement", {"kind": "modulo"})),
+            cc_enabled=bool(data.get("cc_enabled", True)),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2)
+
+    @staticmethod
+    def from_json(text: str) -> "DeploymentConfig":
+        return DeploymentConfig.from_dict(json.loads(text))
+
+
+# ----------------------------------------------------------------------
+# The paper's three deployment strategies (Section 3.3)
+# ----------------------------------------------------------------------
+
+def shared_everything_without_affinity(
+        n_executors: int, machine: MachineProfile = XEON_E3_1276,
+        placement: Placement | None = None,
+        cc_enabled: bool = True) -> DeploymentConfig:
+    """S1: one container, round-robin load balancing, MPL 1."""
+    return DeploymentConfig(
+        name="shared-everything-without-affinity",
+        containers=[ContainerSpec(executors=n_executors, mpl=1)],
+        routing=ROUND_ROBIN,
+        pin_reactors=False,
+        machine=machine,
+        placement=placement or Placement(),
+        cc_enabled=cc_enabled,
+    )
+
+
+def shared_everything_with_affinity(
+        n_executors: int, machine: MachineProfile = XEON_E3_1276,
+        placement: Placement | None = None,
+        cc_enabled: bool = True) -> DeploymentConfig:
+    """S2: one container, affinity routing, MPL 1 (Silo-like setup)."""
+    return DeploymentConfig(
+        name="shared-everything-with-affinity",
+        containers=[ContainerSpec(executors=n_executors, mpl=1)],
+        routing=AFFINITY,
+        pin_reactors=False,
+        machine=machine,
+        placement=placement or Placement(),
+        cc_enabled=cc_enabled,
+    )
+
+
+def shared_nothing(n_containers: int,
+                   machine: MachineProfile = XEON_E3_1276,
+                   mpl: int = 4, placement: Placement | None = None,
+                   cc_enabled: bool = True) -> DeploymentConfig:
+    """S3: one executor per container, reactors pinned.
+
+    The ``-sync`` / ``-async`` variants of the paper differ only in how
+    application programs synchronize on futures, not in deployment.
+    A higher MPL lets the executor overlap transactions cooperatively
+    while some block on remote sub-transactions.
+    """
+    return DeploymentConfig(
+        name="shared-nothing",
+        containers=[ContainerSpec(executors=1, mpl=mpl)
+                    for __ in range(n_containers)],
+        routing=AFFINITY,
+        pin_reactors=True,
+        machine=machine,
+        placement=placement or Placement(),
+        cc_enabled=cc_enabled,
+    )

@@ -1,0 +1,161 @@
+"""Reactor types and instances.
+
+A *reactor* (relational actor, Section 2.2.1) is an application-defined
+logical actor that encapsulates state abstracted as relations.  A
+:class:`ReactorType` declares the relation schemas (via a schema
+creation function) and the procedures invocable on reactors of that
+type.  A :class:`Reactor` is a named instance holding a private
+:class:`~repro.relational.catalog.Catalog`; reactors are purely logical
+entities addressable by name for the lifetime of the application — the
+developer cannot create or destroy them at runtime.
+
+Procedures are registered with the :meth:`ReactorType.procedure`
+decorator and are written as Python functions or generators taking a
+context as first argument::
+
+    account = ReactorType("Account", schema_fn=make_account_schema)
+
+    @account.procedure
+    def deposit(ctx, amount):
+        ctx.update("checking", pk=(ctx.my_name(),),
+                   set={"balance": ...})
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.errors import ReactorError, UnknownProcedureError
+from repro.relational.catalog import Catalog
+from repro.relational.schema import TableSchema
+
+SchemaFn = Callable[[], Iterable[TableSchema]]
+Procedure = Callable[..., Any]
+
+
+class ReactorType:
+    """A reactor type: schema creation function plus procedures."""
+
+    def __init__(self, name: str, schema_fn: SchemaFn) -> None:
+        self.name = name
+        self.schema_fn = schema_fn
+        self.procedures: dict[str, Procedure] = {}
+
+    def procedure(self, fn: Procedure) -> Procedure:
+        """Register ``fn`` as a procedure of this reactor type.
+
+        Usable as a decorator; the function keeps working as a plain
+        Python callable for unit testing.
+        """
+        if fn.__name__ in self.procedures:
+            raise ReactorError(
+                f"procedure {fn.__name__!r} already registered on "
+                f"reactor type {self.name!r}"
+            )
+        self.procedures[fn.__name__] = fn
+        return fn
+
+    def get_procedure(self, name: str) -> Procedure:
+        try:
+            return self.procedures[name]
+        except KeyError:
+            known = ", ".join(sorted(self.procedures)) or "<none>"
+            raise UnknownProcedureError(
+                f"reactor type {self.name!r} has no procedure {name!r}; "
+                f"known: {known}"
+            ) from None
+
+    def build_catalog(self) -> Catalog:
+        """Instantiate the private tables for one reactor instance."""
+        return Catalog(self.schema_fn())
+
+    def __repr__(self) -> str:
+        return f"ReactorType({self.name!r})"
+
+
+class Reactor:
+    """A named reactor instance with private relational state.
+
+    Placement attributes (``container``, ``pinned_executor``) are
+    assigned by the deployment at bootstrap; ``last_core`` tracks which
+    simulated core most recently touched this reactor's data, driving
+    the cache-affinity cost model (DESIGN.md section 3).
+    """
+
+    __slots__ = ("name", "rtype", "catalog", "container",
+                 "pinned_executor", "affinity_executor", "last_core",
+                 "core_heat", "_active_subtxn")
+
+    #: Cache-warmth retained per intervening transaction on another
+    #: core: with round-robin over k executors a reactor returns to a
+    #: core with warmth DECAY^(k-1), reproducing the *progressive*
+    #: locality loss of Appendix F.2.
+    HEAT_DECAY = 0.8
+
+    def __init__(self, name: str, rtype: ReactorType) -> None:
+        self.name = name
+        self.rtype = rtype
+        self.catalog = rtype.build_catalog()
+        for table in self.catalog:
+            table.owner = name
+        self.container: Any = None
+        self.pinned_executor: Any = None
+        #: Preferred executor for *root* transactions under affinity
+        #: routing (sub-calls in shared-everything stay inline).
+        self.affinity_executor: Any = None
+        self.last_core: int | None = None
+        #: core id -> warmth in [0, 1]; decays as other cores touch
+        #: this reactor's data.
+        self.core_heat: dict[int, float] = {}
+        # root txn id -> sub-transaction id currently active here;
+        # enforces the dynamic safety condition of Section 2.2.4.
+        self._active_subtxn: dict[int, int] = {}
+
+    def touch(self, core_id: int) -> float:
+        """Record a transaction touching this reactor from ``core_id``.
+
+        Returns the warmth of that core in [0, 1] *before* the touch:
+        1.0 means the working set is fully cached there (no penalty),
+        0.0 fully cold.  Other cores' warmth decays by
+        :data:`HEAT_DECAY`; the touching core becomes fully warm.
+        """
+        warmth = self.core_heat.get(core_id, 0.0)
+        if self.core_heat:
+            for core in list(self.core_heat):
+                self.core_heat[core] *= self.HEAT_DECAY
+        self.core_heat[core_id] = 1.0
+        self.last_core = core_id
+        return warmth
+
+    def mark_cold(self) -> None:
+        """Forget all cache warmth (testing / cache-flush modeling)."""
+        self.core_heat.clear()
+        self.last_core = None
+
+    # -- dynamic intra-transaction safety (Section 2.2.4) --------------
+
+    def try_enter(self, root_id: int, subtxn_id: int) -> bool:
+        """Register a sub-transaction as active on this reactor.
+
+        Returns ``False`` when a *different* sub-transaction of the same
+        root transaction is already active — the dangerous structure the
+        runtime must abort.
+        """
+        current = self._active_subtxn.get(root_id)
+        if current is not None and current != subtxn_id:
+            return False
+        self._active_subtxn[root_id] = subtxn_id
+        return True
+
+    def exit(self, root_id: int, subtxn_id: int) -> None:
+        if self._active_subtxn.get(root_id) == subtxn_id:
+            del self._active_subtxn[root_id]
+
+    def active_count(self) -> int:
+        return len(self._active_subtxn)
+
+    def table(self, name: str):
+        return self.catalog.table(name)
+
+    def __repr__(self) -> str:
+        return f"Reactor({self.name!r}, type={self.rtype.name!r})"

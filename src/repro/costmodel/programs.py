@@ -1,0 +1,118 @@
+"""Fork-join program specs for the paper's transaction programs.
+
+Builders turn calibrated parameters plus program shape (sizes,
+which destinations are remote) into
+:class:`~repro.costmodel.model.ForkJoinSpec` trees matching each
+program formulation, ready for latency prediction.
+
+A destination is described by its communication cost pair: ``(0, 0)``
+for a reactor served by the caller's executor (inline), ``(cs, cr)``
+otherwise — this is how the Appendix B experiments express local vs.
+remote placements in the model.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.costmodel.calibration import Calibration
+from repro.costmodel.model import Call, ForkJoinSpec
+
+CommPair = tuple[float, float]
+
+
+def destinations(calibration: Calibration, size: int,
+                 remote_flags: Sequence[bool]) -> list[CommPair]:
+    """Communication pairs for ``size`` destinations."""
+    if len(remote_flags) != size:
+        raise ValueError("one remote flag per destination required")
+    return [(calibration.cs, calibration.cr) if remote else (0.0, 0.0)
+            for remote in remote_flags]
+
+
+def multi_transfer(variant: str, calibration: Calibration,
+                   comm: Sequence[CommPair]) -> ForkJoinSpec:
+    """The four multi-transfer formulations of Section 4.1.4.
+
+    ``comm[i]`` is the (cs, cr) pair for destination ``i``; the source
+    debit is always local (a self-call, inlined).
+    """
+    leaf = calibration.leaf_exec
+
+    if variant == "fully-sync":
+        transfers = [
+            ForkJoinSpec(
+                p_seq=leaf,  # the local debit
+                sync_seq=[Call(ForkJoinSpec.leaf(leaf), cs, cr)],
+            )
+            for cs, cr in comm
+        ]
+        return ForkJoinSpec(sync_seq=[Call(t) for t in transfers])
+
+    if variant == "partially-async":
+        transfers = [
+            ForkJoinSpec(
+                async_calls=[Call(ForkJoinSpec.leaf(leaf), cs, cr)],
+                p_ovp=leaf,  # debit overlaps the in-flight credit
+            )
+            for cs, cr in comm
+        ]
+        return ForkJoinSpec(sync_seq=[Call(t) for t in transfers])
+
+    if variant == "fully-async":
+        return ForkJoinSpec(
+            async_calls=[Call(ForkJoinSpec.leaf(leaf), cs, cr)
+                         for cs, cr in comm],
+            p_ovp=leaf * len(comm),  # one local debit per destination
+        )
+
+    if variant == "opt":
+        return ForkJoinSpec(
+            async_calls=[Call(ForkJoinSpec.leaf(leaf), cs, cr)
+                         for cs, cr in comm],
+            p_ovp=leaf,  # a single combined debit
+        )
+
+    raise ValueError(f"unknown multi-transfer variant {variant!r}")
+
+
+def ycsb_multi_update(calibration: Calibration, n_async: float,
+                      n_local: float) -> ForkJoinSpec:
+    """YCSB multi_update (Appendix C).
+
+    ``n_async`` remote single-key updates dispatched asynchronously,
+    overlapped with ``n_local`` inline updates on the initiating
+    executor.  Fractional counts are allowed: the paper fits the model
+    using the *average realized* sequence sizes under the zipfian
+    distribution.
+    """
+    leaf = calibration.leaf_exec
+    spec = ForkJoinSpec(p_ovp=leaf * n_local)
+    whole = int(n_async)
+    for __ in range(whole):
+        spec.async_calls.append(
+            Call(ForkJoinSpec.leaf(leaf), calibration.cs,
+                 calibration.cr))
+    fraction = n_async - whole
+    if fraction > 1e-9:
+        spec.async_calls.append(
+            Call(ForkJoinSpec.leaf(leaf * fraction),
+                 calibration.cs * fraction, calibration.cr * fraction))
+    return spec
+
+
+def tpcc_new_order(calibration: Calibration, local_work: float,
+                   remote_batches: Sequence[float]) -> ForkJoinSpec:
+    """TPC-C new-order (Appendix D).
+
+    ``local_work`` is the home-warehouse processing (reads, inserts,
+    local stock updates); ``remote_batches`` gives the per-remote-
+    warehouse stock-update batch sizes in items.  Batch execution time
+    scales with items at the calibrated per-item leaf cost.
+    """
+    spec = ForkJoinSpec(p_ovp=local_work)
+    for items in remote_batches:
+        spec.async_calls.append(Call(
+            ForkJoinSpec.leaf(calibration.leaf_exec * items),
+            calibration.cs, calibration.cr))
+    return spec

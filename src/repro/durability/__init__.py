@@ -1,0 +1,40 @@
+"""Durability: redo logging, checkpoints, crash recovery.
+
+The paper's prototype has no durability and points at log-based
+recovery (SiloR-style) plus distributed checkpoints as the intended
+design.  This package implements that future-work feature over the
+simulated ReactDB: per-container logical redo logs keyed by commit
+TID, quiescent checkpoints, and recovery by checkpoint restore +
+TID-ordered replay.  Recovery may target a different deployment than
+the crashed database — architecture virtualization extends to
+recovery.
+"""
+
+from repro.durability.checkpoint import Checkpoint, take_checkpoint
+from repro.durability.recovery import (
+    DurabilityManager,
+    enable_durability,
+    recover,
+)
+from repro.durability.wal import (
+    DELETE,
+    INSERT,
+    UPDATE,
+    RedoEntry,
+    RedoLog,
+    RedoRecord,
+)
+
+__all__ = [
+    "RedoLog",
+    "RedoRecord",
+    "RedoEntry",
+    "INSERT",
+    "UPDATE",
+    "DELETE",
+    "Checkpoint",
+    "take_checkpoint",
+    "DurabilityManager",
+    "enable_durability",
+    "recover",
+]

@@ -1,0 +1,116 @@
+"""Redo logging of committed writes.
+
+The paper leaves durability to future work, pointing at "fast
+log-based recovery" (SiloR) and "distributed checkpoints".  This
+package implements that design over the simulated ReactDB: each
+container keeps a :class:`RedoLog` of *logical redo records* — the
+full after-images installed by committed transactions, tagged with
+their commit TID.  Because Silo TIDs order transactions consistently
+with their serial order, replaying redo records in TID order from a
+checkpoint reconstructs exactly the committed state.
+
+Logs are in-memory lists with optional JSON-lines serialization so
+recovery can also be exercised across files.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class RedoEntry:
+    """One logical write: reactor/table/pk plus the after-image."""
+
+    reactor: str
+    table: str
+    kind: str  # insert | update | delete
+    pk: tuple
+    row: dict[str, Any] | None  # None for deletes
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "reactor": self.reactor,
+            "table": self.table,
+            "kind": self.kind,
+            "pk": list(self.pk),
+            "row": self.row,
+        }
+
+    @staticmethod
+    def from_json(data: dict[str, Any]) -> "RedoEntry":
+        return RedoEntry(
+            reactor=data["reactor"],
+            table=data["table"],
+            kind=data["kind"],
+            pk=tuple(data["pk"]),
+            row=data["row"],
+        )
+
+
+@dataclass(frozen=True)
+class RedoRecord:
+    """All writes of one committed transaction within one container."""
+
+    commit_tid: int
+    entries: tuple[RedoEntry, ...]
+
+    def to_json_line(self) -> str:
+        return json.dumps({
+            "tid": self.commit_tid,
+            "entries": [e.to_json() for e in self.entries],
+        })
+
+    @staticmethod
+    def from_json_line(line: str) -> "RedoRecord":
+        data = json.loads(line)
+        return RedoRecord(
+            commit_tid=data["tid"],
+            entries=tuple(RedoEntry.from_json(e)
+                          for e in data["entries"]),
+        )
+
+
+class RedoLog:
+    """Per-container append-only redo log."""
+
+    def __init__(self, container_id: int) -> None:
+        self.container_id = container_id
+        self.records: list[RedoRecord] = []
+
+    def append(self, commit_tid: int,
+               entries: Iterable[RedoEntry]) -> None:
+        entries = tuple(entries)
+        if entries:
+            self.records.append(RedoRecord(commit_tid, entries))
+
+    def truncate_through(self, tid: int) -> int:
+        """Drop records with commit TID <= ``tid`` (post-checkpoint
+        log truncation).  Returns the number dropped."""
+        kept = [r for r in self.records if r.commit_tid > tid]
+        dropped = len(self.records) - len(kept)
+        self.records = kept
+        return dropped
+
+    def max_tid(self) -> int:
+        return max((r.commit_tid for r in self.records), default=0)
+
+    def dump_json_lines(self) -> str:
+        return "\n".join(r.to_json_line() for r in self.records)
+
+    @staticmethod
+    def load_json_lines(container_id: int, text: str) -> "RedoLog":
+        log = RedoLog(container_id)
+        for line in text.splitlines():
+            if line.strip():
+                log.records.append(RedoRecord.from_json_line(line))
+        return log
+
+    def __len__(self) -> int:
+        return len(self.records)

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the reactor database.
+
+All library errors derive from :class:`ReactorError` so applications can
+catch everything from this package with a single ``except`` clause.
+Transaction-control exceptions (aborts) form their own subtree because
+the runtime treats them as control flow: they terminate the root
+transaction and are reported as abort outcomes, not as bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReactorError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SchemaError(ReactorError):
+    """A schema definition or a row violated schema rules."""
+
+
+class QueryError(ReactorError):
+    """A query referenced unknown tables/columns or was malformed."""
+
+
+class SQLParseError(QueryError):
+    """The SQL text could not be parsed."""
+
+
+class UnknownReactorError(ReactorError):
+    """A call referenced a reactor name that was never declared."""
+
+
+class UnknownProcedureError(ReactorError):
+    """A call referenced a procedure not registered on the reactor type."""
+
+
+class DeploymentError(ReactorError):
+    """A deployment configuration is invalid or inconsistent."""
+
+
+class SimulationError(ReactorError):
+    """The discrete-event simulator detected an internal inconsistency."""
+
+
+class TransactionAbort(ReactorError):
+    """Base class for every condition that aborts a root transaction."""
+
+
+class UserAbort(TransactionAbort):
+    """The application logic requested an abort (``ctx.abort(...)``)."""
+
+
+class ValidationAbort(TransactionAbort):
+    """OCC validation failed: a read was stale or a write lock clashed."""
+
+
+class DangerousStructureAbort(TransactionAbort):
+    """The dynamic intra-transaction safety condition of Section 2.2.4.
+
+    Raised when a sub-transaction is invoked on a reactor that is already
+    executing a *different* sub-transaction of the same root transaction,
+    which would break the illusion of a single logical thread of control
+    per reactor.
+    """
+
+
+class RecordNotFound(ReactorError):
+    """A point read/update/delete referenced a missing primary key."""
+
+
+class DuplicateKeyError(ReactorError):
+    """An insert collided with an existing primary key."""

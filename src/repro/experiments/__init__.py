@@ -1,0 +1,41 @@
+"""One module per paper table/figure; see DESIGN.md for the index.
+
+Each module exposes ``run(...)`` (returns plain data, parameterized so
+benchmarks can trade precision for wall-clock time) and ``report(...)``
+(prints the same rows/series the paper's figure or table shows).
+Running a module as a script executes both with default parameters.
+"""
+
+from repro.experiments import (  # noqa: F401
+    appf2,
+    appf3,
+    common,
+    fig05,
+    fig06,
+    fig07_08,
+    fig09_10,
+    fig11,
+    fig12,
+    fig13_14,
+    fig15_16,
+    fig17_18,
+    fig19,
+    table1,
+)
+
+__all__ = [
+    "common",
+    "fig05",
+    "fig06",
+    "fig07_08",
+    "fig09_10",
+    "fig11",
+    "fig12",
+    "fig13_14",
+    "fig15_16",
+    "fig17_18",
+    "fig19",
+    "table1",
+    "appf2",
+    "appf3",
+]

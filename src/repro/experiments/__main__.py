@@ -1,0 +1,55 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.experiments                 # list experiments
+    python -m repro.experiments fig05 fig19     # run selected ones
+    python -m repro.experiments all             # run everything
+
+Each experiment prints the series/rows of its paper figure or table
+with default (paper-shaped, moderately sized) parameters.  For
+scaled-down quick runs use the benchmark suite instead:
+``pytest benchmarks/ --benchmark-only``.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import experiments
+
+EXPERIMENTS = [name for name in experiments.__all__
+               if name != "common"]
+
+
+def run_one(name: str) -> None:
+    module = getattr(experiments, name)
+    print(f"\n######## {name} "
+          f"({module.__doc__.strip().splitlines()[0]})")
+    start = time.time()
+    module.report(module.run())
+    print(f"-- {name} finished in {time.time() - start:.1f}s "
+          "wall clock")
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        print("available experiments:")
+        for name in EXPERIMENTS:
+            doc = getattr(experiments, name).__doc__ or ""
+            print(f"  {name:10s} {doc.strip().splitlines()[0]}")
+        return 0
+    names = EXPERIMENTS if argv == ["all"] else argv
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; known: {EXPERIMENTS}")
+        return 1
+    for name in names:
+        run_one(name)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,49 @@
+"""Figure 5: latency vs. transaction size and program formulation.
+
+Multi-transfer on the Smallbank rig: one worker, seven shared-nothing
+containers, destination ``i`` on container ``i mod 7`` (the first
+destination shares the source's container, so a size-1 transfer is
+fully local — the effect Figure 6 remarks on).  The paper's observed
+ordering — fully-sync slowest, latency dropping with increasing
+asynchronicity, opt fastest — is the reproduction target.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import single_worker_latency
+from repro.bench.report import print_series
+from repro.experiments.common import (
+    smallbank_database,
+    spread_destinations,
+)
+from repro.workloads import smallbank
+
+
+def run(sizes: tuple[int, ...] = (1, 2, 3, 4, 5, 6, 7),
+        variants: tuple[str, ...] = smallbank.VARIANTS,
+        n_txns: int = 100,
+        customers_per_container: int = 200
+        ) -> dict[str, dict[int, float]]:
+    """Returns {variant: {size: avg latency in microseconds}}."""
+    results: dict[str, dict[int, float]] = {v: {} for v in variants}
+    for variant in variants:
+        for size in sizes:
+            database = smallbank_database(customers_per_container)
+            src = smallbank.reactor_name(0)
+            dsts = spread_destinations(
+                size, customers_per_container)
+            spec = smallbank.multi_transfer_spec(variant, src, dsts)
+            result = single_worker_latency(
+                database, lambda worker: spec, n_txns=n_txns)
+            results[variant][size] = result.summary.latency_us
+    return results
+
+
+def report(results: dict[str, dict[int, float]]) -> None:
+    print_series(
+        "Figure 5: multi-transfer latency vs size and formulation",
+        "txn size", results, unit="usec")
+
+
+if __name__ == "__main__":
+    report(run())

@@ -1,0 +1,72 @@
+"""Figures 17 and 18 (Appendix F.1): transactional scale-up.
+
+Standard TPC-C mix as warehouses (= reactors = transaction executors
+= workers) grow.  Expected shapes: shared-everything-with-affinity and
+shared-nothing-async scale nearly linearly and track each other
+closely (affinity dominates); shared-everything-without-affinity
+scales worst because round-robin routing destroys locality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import run_measurement
+from repro.bench.report import print_series
+from repro.experiments.common import tpcc_database
+from repro.workloads import tpcc
+
+DEPLOYMENTS = (
+    "shared-everything-without-affinity",
+    "shared-nothing-async",
+    "shared-everything-with-affinity",
+)
+
+
+@dataclass
+class ScalePoint:
+    strategy: str
+    scale_factor: int
+    throughput_ktps: float
+    latency_us: float
+    per_core_ktps: float
+
+
+def run(scale_factors: tuple[int, ...] = (1, 2, 4, 8, 16),
+        measure_us: float = 60_000.0,
+        n_epochs: int = 5) -> list[ScalePoint]:
+    points = []
+    for strategy in DEPLOYMENTS:
+        for scale_factor in scale_factors:
+            database = tpcc_database(strategy, scale_factor)
+            workload = tpcc.TpccWorkload(n_warehouses=scale_factor)
+            result = run_measurement(
+                database, scale_factor, workload.factory_for,
+                warmup_us=measure_us * 0.1, measure_us=measure_us,
+                n_epochs=n_epochs)
+            summary = result.summary
+            points.append(ScalePoint(
+                strategy=strategy,
+                scale_factor=scale_factor,
+                throughput_ktps=summary.throughput_ktps,
+                latency_us=summary.latency_us,
+                per_core_ktps=summary.throughput_ktps / scale_factor,
+            ))
+    return points
+
+
+def report(points: list[ScalePoint]) -> None:
+    tput = {}
+    lat = {}
+    for p in points:
+        tput.setdefault(p.strategy, {})[p.scale_factor] = \
+            p.throughput_ktps
+        lat.setdefault(p.strategy, {})[p.scale_factor] = p.latency_us
+    print_series("Figure 17: TPC-C throughput vs scale factor",
+                 "scale factor", tput, unit="Ktxn/sec")
+    print_series("Figure 18: TPC-C latency vs scale factor",
+                 "scale factor", lat, unit="usec")
+
+
+if __name__ == "__main__":
+    report(run())

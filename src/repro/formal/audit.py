@@ -1,0 +1,166 @@
+"""Runtime history capture and serializability auditing.
+
+Bridges the execution engine and the formal model of Section 2.3: a
+:class:`HistoryRecorder` attached to a database observes every basic
+operation (read/write with its root transaction, sub-transaction and
+reactor identity, in global virtual-time order) plus commit/abort
+events, producing a :class:`~repro.formal.history.ReactorHistory`.
+The recorded history of any run can then be checked for conflict
+serializability with the Section 2.3 machinery — an operation-level
+audit complementing the state-equivalence integration tests.
+
+Recording works by wrapping the OCC session methods; it is strictly
+observational (no behavior change) and adds Python-level overhead
+only, never virtual time.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.concurrency.occ import OCCSession
+from repro.formal.history import ReactorHistory
+from repro.formal.ops import Op, abort, commit
+from repro.formal.serializability import (
+    is_serializable_reactor,
+    serialization_order,
+)
+
+
+class HistoryRecorder:
+    """Observes a database run and accumulates a reactor history."""
+
+    def __init__(self) -> None:
+        self.history = ReactorHistory()
+        self._reactor_ids: dict[int, int] = {}
+        self._reactor_names: dict[int, str] = {}
+        self._current_sub: dict[int, int] = {}
+
+    # -- identity bookkeeping -------------------------------------------
+
+    def _reactor_id(self, reactor: Any) -> int:
+        key = id(reactor)
+        if key not in self._reactor_ids:
+            self._reactor_ids[key] = len(self._reactor_ids)
+            self._reactor_names[self._reactor_ids[key]] = reactor.name
+        return self._reactor_ids[key]
+
+    def reactor_name(self, reactor_id: int) -> str:
+        return self._reactor_names[reactor_id]
+
+    # -- event intake ------------------------------------------------------
+
+    def record_op(self, kind: str, txn_id: int, subtxn_id: int,
+                  reactor: Any, table_name: str, pk: tuple) -> None:
+        self.history.append(Op(
+            kind=kind, txn=txn_id, sub=subtxn_id,
+            reactor=self._reactor_id(reactor),
+            item=f"{table_name}:{pk!r}"))
+
+    def record_commit(self, txn_id: int) -> None:
+        self.history.append(commit(txn_id))
+
+    def record_abort(self, txn_id: int) -> None:
+        self.history.append(abort(txn_id))
+
+    # -- verdicts ----------------------------------------------------------
+
+    def is_serializable(self) -> bool:
+        return is_serializable_reactor(self.history)
+
+    def equivalent_serial_order(self) -> list[int] | None:
+        """A witness serial order of committed transactions, or
+        ``None`` if the history is not serializable."""
+        return serialization_order(
+            self.history.committed_txns(),
+            self.history.subtxn_conflict_edges())
+
+    def wrap(self, session: OCCSession, reactor: Any,
+             task: Any) -> "_RecordingSession":
+        """Wrap one frame's OCC session so its operations are
+        observed (called by the execution context hook)."""
+        def subtxn_of() -> int:
+            if task.frames:
+                return task.frames[-1].subtxn_id
+            return 0
+
+        return _RecordingSession(session, self, reactor, subtxn_of)
+
+
+class _RecordingSession:
+    """OCC session proxy that reports basic operations.
+
+    Reads are recorded for point reads and for every row returned by a
+    scan; writes at buffering time.  (Write *installation* order is
+    governed by commit events, which the recorder also sees.)
+    """
+
+    def __init__(self, session: OCCSession, recorder: HistoryRecorder,
+                 reactor: Any, subtxn_of: Any) -> None:
+        self._session = session
+        self._recorder = recorder
+        self._reactor = reactor
+        self._subtxn_of = subtxn_of
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._session, name)
+
+    def read(self, table, pk):
+        result = self._session.read(table, pk)
+        self._recorder.record_op(
+            "r", self._session.txn_id, self._subtxn_of(),
+            self._reactor, table.name, pk)
+        return result
+
+    def scan(self, table, predicate=None, **kwargs):
+        from repro.relational.predicate import ALWAYS
+
+        result = self._session.scan(
+            table, predicate if predicate is not None else ALWAYS,
+            **kwargs)
+        for row in result.rows:
+            pk = table.schema.primary_key_of(row)
+            self._recorder.record_op(
+                "r", self._session.txn_id, self._subtxn_of(),
+                self._reactor, table.name, pk)
+        return result
+
+    def insert(self, table, row):
+        result = self._session.insert(table, row)
+        pk = table.schema.primary_key_of(table.schema.validate_row(row))
+        self._recorder.record_op(
+            "w", self._session.txn_id, self._subtxn_of(),
+            self._reactor, table.name, pk)
+        return result
+
+    def update(self, table, pk, assignments):
+        result = self._session.update(table, pk, assignments)
+        self._recorder.record_op(
+            "w", self._session.txn_id, self._subtxn_of(),
+            self._reactor, table.name, pk)
+        return result
+
+    def delete(self, table, pk):
+        result = self._session.delete(table, pk)
+        self._recorder.record_op(
+            "w", self._session.txn_id, self._subtxn_of(),
+            self._reactor, table.name, pk)
+        return result
+
+
+def attach_recorder(database: Any) -> HistoryRecorder:
+    """Enable history recording on a database.
+
+    The runtime consults ``database.history_recorder`` at two explicit
+    hook points: the execution context wraps its OCC session so data
+    operations are observed, and the executor reports commit/abort
+    outcomes.  Recording is strictly observational.
+    """
+    recorder = HistoryRecorder()
+    database.history_recorder = recorder
+    return recorder
+
+
+def detach_recorder(database: Any) -> None:
+    """Stop recording on a database."""
+    database.history_recorder = None

@@ -1,0 +1,105 @@
+"""Histories over reactor-model transactions.
+
+A :class:`ReactorHistory` is a totally ordered sequence of basic
+operations and terminal events (a convenient special case of the
+paper's partial orders: every total order is a valid completion, and
+conflict-serializability analysis only consults the order of
+conflicting pairs).
+
+The history exposes the two conflict views of Section 2.3:
+
+* leaf-level conflicts between basic operations (used after
+  projection to the classic model);
+* sub-transaction-level conflicts (Definition 2.2: two
+  sub-transactions conflict iff their basic operations contain a
+  conflicting pair on the same reactor) — the reactor-model notion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.formal.ops import ABORT, COMMIT, Op, Terminal
+
+
+@dataclass
+class ReactorHistory:
+    """A totally ordered execution of reactor-model transactions."""
+
+    events: list[Op | Terminal] = field(default_factory=list)
+
+    def append(self, event: Op | Terminal) -> None:
+        self.events.append(event)
+
+    # ------------------------------------------------------------------
+
+    def operations(self) -> list[Op]:
+        return [e for e in self.events if isinstance(e, Op)]
+
+    def committed_txns(self) -> set[int]:
+        committed = {e.txn for e in self.events
+                     if isinstance(e, Terminal) and e.kind == COMMIT}
+        aborted = {e.txn for e in self.events
+                   if isinstance(e, Terminal) and e.kind == ABORT}
+        return committed - aborted
+
+    def committed_operations(self) -> list[Op]:
+        committed = self.committed_txns()
+        return [op for op in self.operations() if op.txn in committed]
+
+    def txns(self) -> set[int]:
+        return {op.txn for op in self.operations()} | {
+            e.txn for e in self.events if isinstance(e, Terminal)}
+
+    def subtxns(self) -> set[tuple[int, int]]:
+        return {(op.txn, op.sub) for op in self.operations()}
+
+    # ------------------------------------------------------------------
+    # Conflict edges between committed transactions
+    # ------------------------------------------------------------------
+
+    def leaf_conflict_edges(self) -> set[tuple[int, int]]:
+        """Edges Ti -> Tj from ordered conflicting basic operations.
+
+        This is the classic-model conflict relation evaluated on the
+        (projected) items; Definition 2.3's name mapping is implicit
+        because :meth:`Op.conflicts_with` already requires equal
+        reactors.
+        """
+        ops = self.committed_operations()
+        edges: set[tuple[int, int]] = set()
+        for i, first in enumerate(ops):
+            for second in ops[i + 1:]:
+                if first.txn != second.txn and \
+                        first.conflicts_with(second):
+                    edges.add((first.txn, second.txn))
+        return edges
+
+    def subtxn_conflict_edges(self) -> set[tuple[int, int]]:
+        """Edges from the sub-transaction-level conflict relation.
+
+        Two sub-transactions conflict iff some pair of their basic
+        operations conflicts (Definition 2.2); the history orders the
+        conflicting sub-transactions by their first conflicting
+        operation pair.  Edges are projected to transactions.
+        """
+        ops = self.committed_operations()
+        edges: set[tuple[int, int]] = set()
+        seen_pairs: set[tuple[tuple[int, int], tuple[int, int]]] = set()
+        for i, first in enumerate(ops):
+            for second in ops[i + 1:]:
+                if first.txn == second.txn:
+                    continue
+                if not first.conflicts_with(second):
+                    continue
+                pair = ((first.txn, first.sub), (second.txn, second.sub))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                edges.add((first.txn, second.txn))
+        return edges
+
+
+def history_of(events: Iterable[Op | Terminal]) -> ReactorHistory:
+    return ReactorHistory(list(events))

@@ -1,0 +1,72 @@
+"""Relational substrate: schemas, tables, indexes, predicates, queries.
+
+Every reactor encapsulates a private :class:`~repro.relational.catalog.Catalog`
+of :class:`~repro.relational.table.Table` instances built from
+:class:`~repro.relational.schema.TableSchema` definitions.  Declarative
+queries are supported *only within* a reactor (paper Section 2.2.1);
+cross-reactor access is always an asynchronous procedure call.
+"""
+
+from repro.relational.catalog import Catalog
+from repro.relational.predicate import (
+    ALWAYS,
+    Between,
+    Comparison,
+    InSet,
+    Lambda,
+    Predicate,
+    col,
+)
+from repro.relational.query import (
+    Query,
+    agg_avg,
+    agg_count,
+    agg_count_distinct,
+    agg_max,
+    agg_min,
+    agg_sum,
+    scalar,
+)
+from repro.relational.schema import (
+    Column,
+    ColumnType,
+    IndexSpec,
+    TableSchema,
+    bool_col,
+    column,
+    float_col,
+    int_col,
+    make_schema,
+    str_col,
+)
+from repro.relational.table import Table
+
+__all__ = [
+    "Catalog",
+    "Table",
+    "TableSchema",
+    "Column",
+    "ColumnType",
+    "IndexSpec",
+    "column",
+    "int_col",
+    "float_col",
+    "str_col",
+    "bool_col",
+    "make_schema",
+    "Predicate",
+    "Comparison",
+    "Between",
+    "InSet",
+    "Lambda",
+    "ALWAYS",
+    "col",
+    "Query",
+    "agg_sum",
+    "agg_count",
+    "agg_count_distinct",
+    "agg_min",
+    "agg_max",
+    "agg_avg",
+    "scalar",
+]

@@ -1,0 +1,48 @@
+"""Per-reactor schema catalogs.
+
+A :class:`Catalog` is the set of tables a single reactor encapsulates.
+Reactor types declare a *schema creation function* (per Section 2.2.1)
+that builds the catalog when the reactor database is instantiated.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.errors import SchemaError
+from repro.relational.schema import TableSchema
+from repro.relational.table import Table
+
+
+class Catalog:
+    """The private tables of one reactor instance."""
+
+    def __init__(self, schemas: Iterable[TableSchema] = ()) -> None:
+        self._tables: dict[str, Table] = {}
+        for schema in schemas:
+            self.create_table(schema)
+
+    def create_table(self, schema: TableSchema) -> Table:
+        if schema.name in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        table = Table(schema)
+        self._tables[schema.name] = table
+        return table
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name]
+        except KeyError:
+            known = ", ".join(sorted(self._tables)) or "<none>"
+            raise SchemaError(
+                f"no table {name!r} in this reactor; known tables: {known}"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._tables
+
+    def __iter__(self) -> Iterator[Table]:
+        return iter(self._tables.values())
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)

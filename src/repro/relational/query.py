@@ -1,0 +1,195 @@
+"""Declarative query helpers.
+
+Queries within a reactor are expressed either through the context's
+convenience methods (``ctx.select``, ``ctx.update``...) or through this
+module's :class:`Query` builder, which supports projection, filtering,
+ordering, grouping and aggregates over the rows produced by the
+transactional record manager.  The builder never touches storage
+itself — it is a pure pipeline over row dicts, so it composes with any
+row source (committed tables during loads, OCC overlays during
+transactions).
+
+Example::
+
+    q = (Query()
+         .where((col("settled") == "N"))
+         .group_by("provider")
+         .aggregate(total=agg_sum("value"), n=agg_count()))
+    rows = q.run(source_rows)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.errors import QueryError
+from repro.relational.predicate import ALWAYS, Predicate
+
+Row = dict[str, Any]
+
+
+class Aggregate:
+    """An aggregate function specification over a group of rows."""
+
+    def __init__(self, kind: str, column: str | None = None) -> None:
+        self.kind = kind
+        self.column = column
+
+    def compute(self, rows: Sequence[Mapping[str, Any]]) -> Any:
+        if self.kind == "count":
+            return len(rows)
+        if self.column is None:
+            raise QueryError(f"aggregate {self.kind} requires a column")
+        values = [
+            r[self.column] for r in rows if r.get(self.column) is not None
+        ]
+        if self.kind == "sum":
+            return sum(values) if values else 0
+        if not values:
+            return None
+        if self.kind == "min":
+            return min(values)
+        if self.kind == "max":
+            return max(values)
+        if self.kind == "avg":
+            return sum(values) / len(values)
+        if self.kind == "count_distinct":
+            return len(set(values))
+        raise QueryError(f"unknown aggregate kind {self.kind!r}")
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.column or '*'})"
+
+
+def agg_sum(column: str) -> Aggregate:
+    return Aggregate("sum", column)
+
+
+def agg_count() -> Aggregate:
+    return Aggregate("count")
+
+
+def agg_min(column: str) -> Aggregate:
+    return Aggregate("min", column)
+
+
+def agg_max(column: str) -> Aggregate:
+    return Aggregate("max", column)
+
+
+def agg_avg(column: str) -> Aggregate:
+    return Aggregate("avg", column)
+
+
+def agg_count_distinct(column: str) -> Aggregate:
+    return Aggregate("count_distinct", column)
+
+
+class Query:
+    """A composable row pipeline: filter -> group -> aggregate -> order."""
+
+    def __init__(self) -> None:
+        self._predicate: Predicate = ALWAYS
+        self._projection: tuple[str, ...] | None = None
+        self._order_by: tuple[tuple[str, bool], ...] = ()
+        self._group_by: tuple[str, ...] = ()
+        self._aggregates: dict[str, Aggregate] = {}
+        self._limit: int | None = None
+
+    def where(self, predicate: Predicate) -> "Query":
+        if self._predicate is ALWAYS:
+            self._predicate = predicate
+        else:
+            self._predicate = self._predicate & predicate
+        return self
+
+    def project(self, *columns: str) -> "Query":
+        self._projection = columns
+        return self
+
+    def order_by(self, *columns: str, descending: bool = False) -> "Query":
+        self._order_by += tuple((c, descending) for c in columns)
+        return self
+
+    def group_by(self, *columns: str) -> "Query":
+        self._group_by = columns
+        return self
+
+    def aggregate(self, **aggregates: Aggregate) -> "Query":
+        self._aggregates.update(aggregates)
+        return self
+
+    def limit(self, n: int) -> "Query":
+        if n < 0:
+            raise QueryError("limit must be non-negative")
+        self._limit = n
+        return self
+
+    # ------------------------------------------------------------------
+
+    def run(self, rows: Iterable[Mapping[str, Any]]) -> list[Row]:
+        """Execute the pipeline over a row source."""
+        filtered = [dict(r) for r in rows if self._predicate.matches(r)]
+        if self._aggregates:
+            out = self._run_aggregation(filtered)
+        else:
+            if self._group_by:
+                raise QueryError("group_by requires at least one aggregate")
+            out = filtered
+        out = self._apply_order(out)
+        if self._projection is not None:
+            out = [self._project_row(r) for r in out]
+        if self._limit is not None:
+            out = out[: self._limit]
+        return out
+
+    def _run_aggregation(self, rows: list[Row]) -> list[Row]:
+        if not self._group_by:
+            result = {
+                name: agg.compute(rows)
+                for name, agg in self._aggregates.items()
+            }
+            return [result]
+        groups: dict[tuple, list[Row]] = {}
+        for row in rows:
+            try:
+                key = tuple(row[c] for c in self._group_by)
+            except KeyError as exc:
+                raise QueryError(
+                    f"group_by column {exc.args[0]!r} missing from row"
+                ) from exc
+            groups.setdefault(key, []).append(row)
+        out = []
+        for key in sorted(groups, key=repr):
+            group_rows = groups[key]
+            result = dict(zip(self._group_by, key))
+            for name, agg in self._aggregates.items():
+                result[name] = agg.compute(group_rows)
+            out.append(result)
+        return out
+
+    def _apply_order(self, rows: list[Row]) -> list[Row]:
+        for column, descending in reversed(self._order_by):
+            rows = sorted(
+                rows,
+                key=lambda r: (r.get(column) is None, r.get(column)),
+                reverse=descending,
+            )
+        return rows
+
+    def _project_row(self, row: Row) -> Row:
+        assert self._projection is not None
+        try:
+            return {c: row[c] for c in self._projection}
+        except KeyError as exc:
+            raise QueryError(
+                f"projection column {exc.args[0]!r} missing from row"
+            ) from exc
+
+
+def scalar(rows: Sequence[Mapping[str, Any]], column: str,
+           default: Any = None) -> Any:
+    """First row's value for ``column`` (the SELECT ... INTO idiom)."""
+    if not rows:
+        return default
+    return rows[0].get(column, default)

@@ -1,0 +1,195 @@
+"""Relation schemas.
+
+A reactor encapsulates *whole relational schemas* (Section 2.2.1): each
+reactor instance owns private tables created from the
+:class:`TableSchema` definitions of its reactor type.  Schemas validate
+rows on insert/update, define the primary key, and declare secondary
+indexes (hash for equality lookups, ordered for range scans).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Iterable, Mapping
+
+from repro.errors import SchemaError
+
+
+class ColumnType(Enum):
+    """Supported column types; values are the accepted Python types."""
+
+    INT = "int"
+    FLOAT = "float"
+    STR = "str"
+    BOOL = "bool"
+
+    def accepts(self, value: Any) -> bool:
+        if value is None:
+            return True  # nullability checked separately
+        if self is ColumnType.INT:
+            return isinstance(value, int) and not isinstance(value, bool)
+        if self is ColumnType.FLOAT:
+            return isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            )
+        if self is ColumnType.STR:
+            return isinstance(value, str)
+        return isinstance(value, bool)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column."""
+
+    name: str
+    type: ColumnType
+    nullable: bool = False
+
+    def validate(self, value: Any) -> None:
+        if value is None:
+            if not self.nullable:
+                raise SchemaError(f"column {self.name!r} is not nullable")
+            return
+        if not self.type.accepts(value):
+            raise SchemaError(
+                f"column {self.name!r} expects {self.type.value}, "
+                f"got {type(value).__name__} ({value!r})"
+            )
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """A secondary index declaration.
+
+    ``ordered=True`` builds a sorted index supporting range scans (used
+    e.g. for TPC-C order lookups); otherwise a hash index supporting
+    equality lookups only.
+    """
+
+    name: str
+    columns: tuple[str, ...]
+    ordered: bool = False
+    unique: bool = False
+
+
+@dataclass(frozen=True)
+class TableSchema:
+    """Schema of one relation: columns, primary key, secondary indexes."""
+
+    name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+    indexes: tuple[IndexSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {self.name!r}")
+        if not self.primary_key:
+            raise SchemaError(f"table {self.name!r} needs a primary key")
+        known = set(names)
+        for pk_col in self.primary_key:
+            if pk_col not in known:
+                raise SchemaError(
+                    f"primary key column {pk_col!r} not in table "
+                    f"{self.name!r}"
+                )
+        index_names = set()
+        for spec in self.indexes:
+            if spec.name in index_names:
+                raise SchemaError(f"duplicate index name {spec.name!r}")
+            index_names.add(spec.name)
+            for col in spec.columns:
+                if col not in known:
+                    raise SchemaError(
+                        f"index {spec.name!r} references unknown column "
+                        f"{col!r}"
+                    )
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return tuple(c.name for c in self.columns)
+
+    def column(self, name: str) -> Column:
+        for col in self.columns:
+            if col.name == name:
+                return col
+        raise SchemaError(f"no column {name!r} in table {self.name!r}")
+
+    def validate_row(self, row: Mapping[str, Any]) -> dict[str, Any]:
+        """Validate and normalize a full row; returns a fresh dict.
+
+        Missing nullable columns are filled with ``None``; missing
+        non-nullable columns are an error, as are unknown keys.
+        """
+        out: dict[str, Any] = {}
+        for col in self.columns:
+            if col.name in row:
+                value = row[col.name]
+            else:
+                value = None
+            col.validate(value)
+            out[col.name] = value
+        unknown = set(row) - set(out)
+        if unknown:
+            raise SchemaError(
+                f"unknown columns {sorted(unknown)} for table {self.name!r}"
+            )
+        return out
+
+    def validate_assignments(self, assignments: Mapping[str, Any]) -> None:
+        """Validate a partial update (column -> new value)."""
+        for name, value in assignments.items():
+            col = self.column(name)
+            if name in self.primary_key:
+                raise SchemaError(
+                    f"cannot update primary key column {name!r}"
+                )
+            col.validate(value)
+
+    def primary_key_of(self, row: Mapping[str, Any]) -> tuple:
+        """Extract the primary-key tuple from a row."""
+        try:
+            return tuple(row[c] for c in self.primary_key)
+        except KeyError as exc:
+            raise SchemaError(
+                f"row missing primary key column {exc.args[0]!r} "
+                f"for table {self.name!r}"
+            ) from exc
+
+
+def column(name: str, type_: ColumnType | str,
+           nullable: bool = False) -> Column:
+    """Convenience constructor accepting type names as strings."""
+    if isinstance(type_, str):
+        type_ = ColumnType(type_)
+    return Column(name=name, type=type_, nullable=nullable)
+
+
+def int_col(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.INT, nullable)
+
+
+def float_col(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.FLOAT, nullable)
+
+
+def str_col(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.STR, nullable)
+
+
+def bool_col(name: str, nullable: bool = False) -> Column:
+    return Column(name, ColumnType.BOOL, nullable)
+
+
+def make_schema(name: str, columns: Iterable[Column],
+                primary_key: Iterable[str],
+                indexes: Iterable[IndexSpec] = ()) -> TableSchema:
+    """Convenience constructor normalizing iterables to tuples."""
+    return TableSchema(
+        name=name,
+        columns=tuple(columns),
+        primary_key=tuple(primary_key),
+        indexes=tuple(indexes),
+    )

@@ -1,0 +1,530 @@
+"""A small SQL dialect for declarative queries within a reactor.
+
+The paper writes reactor procedures in a stored-procedure style with
+embedded SQL (``SELECT g_risk, p_exposure INTO ... FROM
+settlement_risk``).  This module provides that surface: a hand-written
+tokenizer and recursive-descent parser for a practical SQL subset,
+compiled onto the predicate/query pipeline and executed through any
+object implementing the context's data methods (``select``,
+``insert``, ``update_where``, ``delete_where``).
+
+Supported statements::
+
+    SELECT a, b FROM t WHERE x = ? AND y > 3 ORDER BY a DESC LIMIT 5
+    SELECT SUM(v) AS total, COUNT(*) AS n FROM t GROUP BY grp
+    INSERT INTO t (a, b) VALUES (1, 'x')
+    UPDATE t SET a = 4, b = ? WHERE c <= 9
+    DELETE FROM t WHERE settled = 'N'
+
+Placeholders (``?``) bind positionally from the ``params`` sequence.
+Identifiers are case-insensitive keywords, case-preserving names.
+
+Parsing is two-phase for stored-procedure efficiency: statement text
+parses once into a parameterized template (cached by text), and each
+execution binds concrete parameters into a fresh statement.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field, replace
+from functools import lru_cache
+from typing import Any, Sequence
+
+from repro.errors import SQLParseError
+from repro.relational.predicate import (
+    ALWAYS,
+    Between,
+    Comparison,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+)
+from repro.relational.query import Aggregate, Query
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<op><>|<=|>=|!=|=|<|>)"
+    r"|(?P<punct>[(),*?])"
+    r")")
+
+_KEYWORDS = {
+    "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "LIMIT",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "AND",
+    "OR", "NOT", "BETWEEN", "IN", "AS", "DESC", "ASC", "NULL",
+    "TRUE", "FALSE", "COUNT", "SUM", "MIN", "MAX", "AVG", "DISTINCT",
+}
+
+_AGG_KEYWORDS = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+@dataclass(frozen=True)
+class Param:
+    """A positional ``?`` placeholder inside a parsed template."""
+
+    index: int
+
+    def __repr__(self) -> str:
+        return f"?{self.index}"
+
+
+@dataclass
+class Token:
+    kind: str  # number | string | name | keyword | op | punct
+    value: Any
+    position: int
+
+
+def tokenize(text: str) -> list[Token]:
+    tokens: list[Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            if text[position:].strip() == "":
+                break
+            raise SQLParseError(
+                f"unexpected character {text[position]!r} at "
+                f"{position}")
+        position = match.end()
+        if match.lastgroup == "number":
+            raw = match.group("number")
+            value = float(raw) if "." in raw else int(raw)
+            tokens.append(Token("number", value, match.start()))
+        elif match.lastgroup == "string":
+            raw = match.group("string")[1:-1].replace("''", "'")
+            tokens.append(Token("string", raw, match.start()))
+        elif match.lastgroup == "name":
+            name = match.group("name")
+            if name.upper() in _KEYWORDS:
+                tokens.append(Token("keyword", name.upper(),
+                                    match.start()))
+            else:
+                tokens.append(Token("name", name, match.start()))
+        elif match.lastgroup == "op":
+            tokens.append(Token("op", match.group("op"),
+                                match.start()))
+        else:
+            tokens.append(Token("punct", match.group("punct"),
+                                match.start()))
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# Statement ASTs
+# ----------------------------------------------------------------------
+
+@dataclass
+class SelectStatement:
+    table: str
+    columns: list[str] | None  # None = *
+    aggregates: dict[str, Aggregate] = field(default_factory=dict)
+    where: Predicate = ALWAYS
+    group_by: list[str] = field(default_factory=list)
+    order_by: list[tuple[str, bool]] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass
+class InsertStatement:
+    table: str
+    columns: list[str]
+    values: list[Any]
+
+
+@dataclass
+class UpdateStatement:
+    table: str
+    assignments: dict[str, Any]
+    where: Predicate = ALWAYS
+
+
+@dataclass
+class DeleteStatement:
+    table: str
+    where: Predicate = ALWAYS
+
+
+Statement = SelectStatement | InsertStatement | UpdateStatement | \
+    DeleteStatement
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.index = 0
+        self.param_count = 0
+
+    # -- token plumbing -------------------------------------------------
+
+    def peek(self) -> Token | None:
+        if self.index < len(self.tokens):
+            return self.tokens[self.index]
+        return None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement")
+        self.index += 1
+        return token
+
+    def expect_keyword(self, *keywords: str) -> str:
+        token = self.next()
+        if token.kind != "keyword" or token.value not in keywords:
+            raise SQLParseError(
+                f"expected {' or '.join(keywords)}, got "
+                f"{token.value!r} at {token.position}")
+        return token.value
+
+    def try_keyword(self, *keywords: str) -> str | None:
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and \
+                token.value in keywords:
+            self.index += 1
+            return token.value
+        return None
+
+    def expect_name(self) -> str:
+        token = self.next()
+        if token.kind != "name":
+            raise SQLParseError(
+                f"expected identifier, got {token.value!r} at "
+                f"{token.position}")
+        return token.value
+
+    def expect_punct(self, punct: str) -> None:
+        token = self.next()
+        if token.kind != "punct" or token.value != punct:
+            raise SQLParseError(
+                f"expected {punct!r}, got {token.value!r} at "
+                f"{token.position}")
+
+    def try_punct(self, punct: str) -> bool:
+        token = self.peek()
+        if token is not None and token.kind == "punct" and \
+                token.value == punct:
+            self.index += 1
+            return True
+        return False
+
+    def literal(self) -> Any:
+        token = self.next()
+        if token.kind in ("number", "string"):
+            return token.value
+        if token.kind == "punct" and token.value == "?":
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
+        if token.kind == "keyword":
+            if token.value == "NULL":
+                return None
+            if token.value == "TRUE":
+                return True
+            if token.value == "FALSE":
+                return False
+        raise SQLParseError(
+            f"expected literal, got {token.value!r} at "
+            f"{token.position}")
+
+    # -- predicates ------------------------------------------------------
+
+    def predicate(self) -> Predicate:
+        left = self._pred_term()
+        while self.try_keyword("OR"):
+            left = Or(left, self._pred_term())
+        return left
+
+    def _pred_term(self) -> Predicate:
+        left = self._pred_factor()
+        while self.try_keyword("AND"):
+            left = left & self._pred_factor()
+        return left
+
+    def _pred_factor(self) -> Predicate:
+        if self.try_keyword("NOT"):
+            return Not(self._pred_factor())
+        if self.try_punct("("):
+            inner = self.predicate()
+            self.expect_punct(")")
+            return inner
+        column = self.expect_name()
+        if self.try_keyword("BETWEEN"):
+            low = self.literal()
+            self.expect_keyword("AND")
+            high = self.literal()
+            return Between(column, low, high)
+        if self.try_keyword("IN"):
+            self.expect_punct("(")
+            values = [self.literal()]
+            while self.try_punct(","):
+                values.append(self.literal())
+            self.expect_punct(")")
+            return InSet(column, values)
+        token = self.next()
+        if token.kind != "op":
+            raise SQLParseError(
+                f"expected comparison operator, got {token.value!r} "
+                f"at {token.position}")
+        operator = {"=": "==", "<>": "!="}.get(token.value,
+                                               token.value)
+        return Comparison(column, operator, self.literal())
+
+    # -- statements -------------------------------------------------------
+
+    def statement(self) -> Statement:
+        keyword = self.expect_keyword("SELECT", "INSERT", "UPDATE",
+                                      "DELETE")
+        if keyword == "SELECT":
+            return self._select()
+        if keyword == "INSERT":
+            return self._insert()
+        if keyword == "UPDATE":
+            return self._update()
+        return self._delete()
+
+    def _select(self) -> SelectStatement:
+        columns: list[str] | None = []
+        aggregates: dict[str, Aggregate] = {}
+        if self.try_punct("*"):
+            columns = None
+        else:
+            while True:
+                item_columns, item_agg = self._select_item()
+                if item_agg is not None:
+                    aggregates.update(item_agg)
+                else:
+                    assert columns is not None
+                    columns.append(item_columns)
+                if not self.try_punct(","):
+                    break
+        self.expect_keyword("FROM")
+        statement = SelectStatement(
+            table=self.expect_name(),
+            columns=columns if not aggregates else (columns or []),
+            aggregates=aggregates)
+        if self.try_keyword("WHERE"):
+            statement.where = self.predicate()
+        if self.try_keyword("GROUP"):
+            self.expect_keyword("BY")
+            statement.group_by.append(self.expect_name())
+            while self.try_punct(","):
+                statement.group_by.append(self.expect_name())
+        if self.try_keyword("ORDER"):
+            self.expect_keyword("BY")
+            while True:
+                column = self.expect_name()
+                descending = bool(self.try_keyword("DESC"))
+                if not descending:
+                    self.try_keyword("ASC")
+                statement.order_by.append((column, descending))
+                if not self.try_punct(","):
+                    break
+        if self.try_keyword("LIMIT"):
+            token = self.next()
+            if token.kind != "number" or not isinstance(token.value,
+                                                        int):
+                raise SQLParseError("LIMIT expects an integer")
+            statement.limit = token.value
+        self._expect_end()
+        return statement
+
+    def _select_item(self):
+        token = self.peek()
+        if token is not None and token.kind == "keyword" and \
+                token.value in _AGG_KEYWORDS:
+            agg_kind = self.next().value
+            self.expect_punct("(")
+            distinct = False
+            if agg_kind == "COUNT" and self.try_punct("*"):
+                column = None
+            else:
+                distinct = bool(self.try_keyword("DISTINCT"))
+                column = self.expect_name()
+            self.expect_punct(")")
+            if self.try_keyword("AS"):
+                label = self.expect_name()
+            else:
+                label = f"{agg_kind.lower()}" + \
+                    (f"_{column}" if column else "")
+            if agg_kind == "COUNT" and column is None:
+                aggregate = Aggregate("count")
+            elif agg_kind == "COUNT" and distinct:
+                aggregate = Aggregate("count_distinct", column)
+            elif agg_kind == "COUNT":
+                aggregate = Aggregate("count")
+            else:
+                aggregate = Aggregate(agg_kind.lower(), column)
+            return None, {label: aggregate}
+        return self.expect_name(), None
+
+    def _insert(self) -> InsertStatement:
+        self.expect_keyword("INTO")
+        table = self.expect_name()
+        self.expect_punct("(")
+        columns = [self.expect_name()]
+        while self.try_punct(","):
+            columns.append(self.expect_name())
+        self.expect_punct(")")
+        self.expect_keyword("VALUES")
+        self.expect_punct("(")
+        values = [self.literal()]
+        while self.try_punct(","):
+            values.append(self.literal())
+        self.expect_punct(")")
+        if len(values) != len(columns):
+            raise SQLParseError(
+                f"{len(columns)} columns but {len(values)} values")
+        self._expect_end()
+        return InsertStatement(table, columns, values)
+
+    def _update(self) -> UpdateStatement:
+        table = self.expect_name()
+        self.expect_keyword("SET")
+        assignments: dict[str, Any] = {}
+        while True:
+            column = self.expect_name()
+            token = self.next()
+            if token.kind != "op" or token.value != "=":
+                raise SQLParseError("expected = in SET clause")
+            assignments[column] = self.literal()
+            if not self.try_punct(","):
+                break
+        statement = UpdateStatement(table, assignments)
+        if self.try_keyword("WHERE"):
+            statement.where = self.predicate()
+        self._expect_end()
+        return statement
+
+    def _delete(self) -> DeleteStatement:
+        self.expect_keyword("FROM")
+        statement = DeleteStatement(self.expect_name())
+        if self.try_keyword("WHERE"):
+            statement.where = self.predicate()
+        self._expect_end()
+        return statement
+
+    def _expect_end(self) -> None:
+        token = self.peek()
+        if token is not None:
+            raise SQLParseError(
+                f"unexpected trailing input {token.value!r} at "
+                f"{token.position}")
+
+
+# ----------------------------------------------------------------------
+# Parameter binding over parsed templates
+# ----------------------------------------------------------------------
+
+def _bind_value(value: Any, params: Sequence[Any]) -> Any:
+    if isinstance(value, Param):
+        return params[value.index]
+    return value
+
+
+def _bind_predicate(predicate: Predicate,
+                    params: Sequence[Any]) -> Predicate:
+    from repro.relational.predicate import And
+
+    if isinstance(predicate, Comparison):
+        return Comparison(predicate.column, predicate.op,
+                          _bind_value(predicate.value, params))
+    if isinstance(predicate, Between):
+        return Between(predicate.column,
+                       _bind_value(predicate.low, params),
+                       _bind_value(predicate.high, params))
+    if isinstance(predicate, InSet):
+        return InSet(predicate.column,
+                     [_bind_value(v, params)
+                      for v in predicate.values])
+    if isinstance(predicate, Not):
+        return Not(_bind_predicate(predicate.inner, params))
+    if isinstance(predicate, And):
+        return And(*(_bind_predicate(p, params)
+                     for p in predicate.parts))
+    if isinstance(predicate, Or):
+        return Or(*(_bind_predicate(p, params)
+                    for p in predicate.parts))
+    return predicate  # TruePredicate / Lambda
+
+
+def bind(statement: Statement, params: Sequence[Any],
+         param_count: int) -> Statement:
+    """Bind positional parameters into a parsed template.
+
+    Returns a fresh statement; the (cached) template is not mutated.
+    """
+    if len(params) != param_count:
+        raise SQLParseError(
+            f"statement has {param_count} placeholder(s) but "
+            f"{len(params)} parameter(s) were supplied")
+    if isinstance(statement, SelectStatement):
+        return replace(statement,
+                       where=_bind_predicate(statement.where, params))
+    if isinstance(statement, InsertStatement):
+        return replace(statement,
+                       values=[_bind_value(v, params)
+                               for v in statement.values])
+    if isinstance(statement, UpdateStatement):
+        return replace(
+            statement,
+            assignments={k: _bind_value(v, params)
+                         for k, v in statement.assignments.items()},
+            where=_bind_predicate(statement.where, params))
+    return replace(statement,
+                   where=_bind_predicate(statement.where, params))
+
+
+@lru_cache(maxsize=512)
+def parse_template(text: str) -> tuple[Statement, int]:
+    """Parse statement text into a reusable parameterized template.
+
+    Cached by text: stored procedures re-executing the same statement
+    skip tokenization and parsing entirely.
+    """
+    parser = _Parser(tokenize(text))
+    statement = parser.statement()
+    return statement, parser.param_count
+
+
+def parse(text: str, params: Sequence[Any] = ()) -> Statement:
+    """Parse one SQL statement, binding ``?`` placeholders."""
+    template, param_count = parse_template(text)
+    return bind(template, params, param_count)
+
+
+def execute(ctx: Any, text: str, params: Sequence[Any] = ()) -> Any:
+    """Parse and execute a statement against a reactor context.
+
+    Returns SELECT rows as a list of dicts; INSERT returns ``None``;
+    UPDATE/DELETE return the number of affected rows.  Statement
+    templates are cached by text, so repeated execution of the same
+    statement (the stored-procedure pattern) parses once.
+    """
+    statement = parse(text, params)
+    if isinstance(statement, SelectStatement):
+        query = Query().where(statement.where)
+        if statement.aggregates:
+            query.aggregate(**statement.aggregates)
+            if statement.group_by:
+                query.group_by(*statement.group_by)
+        elif statement.columns is not None:
+            query.project(*statement.columns)
+        for column, descending in statement.order_by:
+            query.order_by(column, descending=descending)
+        if statement.limit is not None:
+            query.limit(statement.limit)
+        rows = ctx.select(statement.table)
+        return query.run(rows)
+    if isinstance(statement, InsertStatement):
+        ctx.insert(statement.table,
+                   dict(zip(statement.columns, statement.values)))
+        return None
+    if isinstance(statement, UpdateStatement):
+        return ctx.update_where(statement.table, statement.where,
+                                statement.assignments)
+    return ctx.delete_where(statement.table, statement.where)

@@ -1,0 +1,150 @@
+"""In-memory tables of versioned records.
+
+A :class:`Table` holds the *committed* state of one relation inside one
+reactor: a primary-key dict of :class:`VersionedRecord` plus secondary
+indexes.  All mutation goes through the ``install_*`` methods, which the
+concurrency-control layer calls during the write phase of a commit —
+application code never touches tables directly (it goes through the
+transactional record manager, which overlays uncommitted writes).
+
+The table keeps a per-table primary index structure version and
+per-secondary-index versions; range and predicate scans validate these
+at commit time for conservative phantom protection.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Mapping
+
+from repro.errors import DuplicateKeyError, RecordNotFound
+from repro.relational.index import HashIndex, OrderedIndex, build_index
+from repro.relational.schema import TableSchema
+from repro.storage.record import VersionedRecord
+
+
+class Table:
+    """Committed storage for one relation of one reactor."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        #: Name of the reactor owning this table (set at reactor
+        #: construction; used by durability/recovery addressing).
+        self.owner: str | None = None
+        self._records: dict[tuple, VersionedRecord] = {}
+        #: Bumped on insert/delete; conservative phantom guard for full
+        #: and predicate scans over the primary index.
+        self.structure_version = 0
+        self.indexes: dict[str, HashIndex | OrderedIndex] = {
+            spec.name: build_index(spec) for spec in schema.indexes
+        }
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # ------------------------------------------------------------------
+    # Committed-state reads (used by the record manager under OCC).
+    # ------------------------------------------------------------------
+
+    def get_record(self, pk: tuple) -> VersionedRecord | None:
+        """The live record for a primary key, or ``None``."""
+        record = self._records.get(pk)
+        if record is None or record.deleted:
+            return None
+        return record
+
+    def iter_records(self) -> Iterator[VersionedRecord]:
+        """All live records in primary-key order (deterministic scans)."""
+        for pk in sorted(self._records):
+            record = self._records[pk]
+            if not record.deleted:
+                yield record
+
+    def index(self, name: str) -> HashIndex | OrderedIndex:
+        try:
+            return self.indexes[name]
+        except KeyError:
+            raise RecordNotFound(
+                f"no index {name!r} on table {self.name!r}"
+            ) from None
+
+    def records_for_pks(self, pks: Any) -> Iterator[VersionedRecord]:
+        """Live records for an iterable of primary keys (sorted)."""
+        for pk in sorted(pks):
+            record = self._records.get(pk)
+            if record is not None and not record.deleted:
+                yield record
+
+    # ------------------------------------------------------------------
+    # Write-phase installation (called by OCC at commit only).
+    # ------------------------------------------------------------------
+
+    def install_insert(self, row: Mapping[str, Any],
+                       tid: int) -> VersionedRecord:
+        """Create a new committed record (or revive a tombstone)."""
+        validated = self.schema.validate_row(row)
+        pk = self.schema.primary_key_of(validated)
+        existing = self._records.get(pk)
+        if existing is not None and not existing.deleted:
+            raise DuplicateKeyError(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+        if existing is not None:
+            existing.install(validated, tid)
+            record = existing
+        else:
+            record = VersionedRecord(pk, validated, tid)
+            self._records[pk] = record
+        self.structure_version += 1
+        for index in self.indexes.values():
+            index.insert(index.key_of(validated), pk)
+        return record
+
+    def install_update(self, record: VersionedRecord,
+                       new_value: Mapping[str, Any], tid: int) -> None:
+        """Replace a record's committed image, maintaining indexes."""
+        validated = self.schema.validate_row(new_value)
+        for index in self.indexes.values():
+            old_key = index.key_of(record.value)
+            new_key = index.key_of(validated)
+            if old_key != new_key:
+                index.remove(old_key, record.key)
+                index.insert(new_key, record.key)
+        record.install(validated, tid)
+
+    def install_delete(self, record: VersionedRecord, tid: int) -> None:
+        """Tombstone a record and remove it from indexes."""
+        for index in self.indexes.values():
+            index.remove(index.key_of(record.value), record.key)
+        record.mark_deleted(tid)
+        self.structure_version += 1
+
+    def ensure_placeholder(self, pk: tuple) -> VersionedRecord:
+        """A lockable tombstone for insert validation.
+
+        Inserting transactions lock a placeholder during 2PC so that two
+        concurrent inserters of the same key cannot both pass validation.
+        The placeholder is invisible to readers (``deleted`` is set) and
+        is revived by :meth:`install_insert` on commit.
+        """
+        record = self._records.get(pk)
+        if record is None:
+            record = VersionedRecord(pk, {}, 0)
+            record.deleted = True
+            self._records[pk] = record
+        return record
+
+    # ------------------------------------------------------------------
+    # Non-transactional bulk loading (benchmark setup only).
+    # ------------------------------------------------------------------
+
+    def load_row(self, row: Mapping[str, Any], tid: int = 0) -> None:
+        """Insert without concurrency control; for initial data loads."""
+        self.install_insert(row, tid)
+
+    def rows(self) -> list[dict[str, Any]]:
+        """Snapshot of all committed rows (testing/inspection)."""
+        return [r.snapshot() for r in self.iter_records()]

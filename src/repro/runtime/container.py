@@ -1,0 +1,57 @@
+"""Database containers.
+
+A container (paper Section 3.1) abstracts a portion of a machine with
+its own storage and transactional consistency mechanism.  Containers
+are isolated: they never share data, and each owns disjoint compute
+resources (transaction executors).  Reactors map to exactly one
+container; within it, they are either served by any executor
+(shared-everything) or pinned to one (shared-nothing).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.concurrency.occ import ConcurrencyManager
+from repro.runtime.executor import TransactionExecutor
+
+
+class Container:
+    """One shared-memory region plus its transaction executors."""
+
+    def __init__(self, container_id: int, database: Any,
+                 concurrency: ConcurrencyManager) -> None:
+        self.container_id = container_id
+        self.database = database
+        self.concurrency = concurrency
+        self.executors: list[TransactionExecutor] = []
+        self._route_counter = 0
+
+    def add_executor(self, core_id: int, mpl: int) -> TransactionExecutor:
+        executor = TransactionExecutor(
+            executor_id=len(self.executors),
+            core_id=core_id,
+            container=self,
+            scheduler=self.database.scheduler,
+            costs=self.database.costs,
+            mpl=mpl,
+        )
+        self.executors.append(executor)
+        return executor
+
+    def route(self, reactor: Any) -> TransactionExecutor:
+        """Executor serving a sub-call on ``reactor`` in this container.
+
+        Pinned reactors go to their executor; otherwise requests are
+        load-balanced round-robin.
+        """
+        if reactor.pinned_executor is not None:
+            return reactor.pinned_executor
+        executor = self.executors[self._route_counter
+                                  % len(self.executors)]
+        self._route_counter += 1
+        return executor
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Container({self.container_id}, "
+                f"executors={len(self.executors)})")

@@ -1,0 +1,76 @@
+"""Effects yielded by reactor procedures to the runtime.
+
+Reactor procedures are Python generators; time-consuming or
+cross-reactor actions are expressed by *yielding* effect objects that
+the transaction executor interprets:
+
+* ``yield ctx.call(name, proc, *args)`` — :class:`CallEffect`; the
+  runtime sends back a :class:`~repro.runtime.futures.SimFuture`.
+* ``yield ctx.get(future)`` — :class:`GetEffect`; the runtime sends
+  back the result (or throws the sub-transaction's abort into the
+  procedure).
+* ``yield ctx.compute(micros)`` — :class:`ChargeEffect`; pure simulated
+  CPU work (e.g. the ``sim_risk`` Monte-Carlo kernel).
+
+Declarative queries (``ctx.select`` etc.) are *not* effects: they
+execute immediately for data purposes and accrue simulated CPU cost
+that the executor charges at the next yield point.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.runtime.futures import SimFuture
+
+
+class Effect:
+    """Marker base class for objects the executor interprets."""
+
+    __slots__ = ()
+
+
+class CallEffect(Effect):
+    """Asynchronous procedure call on a (possibly different) reactor."""
+
+    __slots__ = ("reactor_name", "proc_name", "args", "kwargs")
+
+    def __init__(self, reactor_name: str, proc_name: str,
+                 args: tuple, kwargs: dict[str, Any]) -> None:
+        self.reactor_name = reactor_name
+        self.proc_name = proc_name
+        self.args = args
+        self.kwargs = kwargs
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CallEffect({self.proc_name} on reactor "
+                f"{self.reactor_name!r})")
+
+
+class GetEffect(Effect):
+    """Wait for (and consume) the result of a future."""
+
+    __slots__ = ("future", "implicit")
+
+    def __init__(self, future: SimFuture, implicit: bool = False) -> None:
+        self.future = future
+        #: True for the runtime-generated frame-end synchronization.
+        self.implicit = implicit
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"GetEffect({self.future!r}, implicit={self.implicit})"
+
+
+class ChargeEffect(Effect):
+    """Consume simulated CPU time (application compute kernels)."""
+
+    __slots__ = ("micros", "category")
+
+    def __init__(self, micros: float, category: str = "exec") -> None:
+        if micros < 0:
+            raise ValueError("cannot charge negative time")
+        self.micros = micros
+        self.category = category
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"ChargeEffect({self.micros:.3f}us, {self.category})"

@@ -1,0 +1,101 @@
+"""Futures (promises) for asynchronous procedure calls.
+
+Invoking a procedure on another reactor returns a :class:`SimFuture`
+(the paper's promise, after Liskov & Shrira).  The calling code can
+wait on it, call other procedures first, or never touch it — the
+runtime implicitly synchronizes on all outstanding futures when the
+enclosing (sub-)transaction completes.
+
+``remote`` records whether the call crossed transaction executors,
+which determines whether consuming the result pays the expensive
+receive-path cost Cr (a thread switch) or only a flag check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+
+_PENDING = "pending"
+_RESOLVED = "resolved"
+_FAILED = "failed"
+
+
+class SimFuture:
+    """Result placeholder for an asynchronous sub-transaction."""
+
+    __slots__ = ("state", "value", "error", "remote", "consumed",
+                 "birth_seq", "resolved_at", "_waiter", "subtxn_id",
+                 "target_reactor")
+
+    def __init__(self, remote: bool, subtxn_id: int,
+                 target_reactor: str) -> None:
+        self.state = _PENDING
+        self.value: Any = None
+        self.error: BaseException | None = None
+        self.remote = remote
+        #: Set when application code (or the implicit frame-end sync)
+        #: consumed the result.
+        self.consumed = False
+        #: Task effect counter at creation; used to classify waits as
+        #: sync-execution vs async-execution in latency breakdowns.
+        self.birth_seq = 0
+        self.resolved_at: float | None = None
+        self._waiter: Callable[["SimFuture"], None] | None = None
+        self.subtxn_id = subtxn_id
+        self.target_reactor = target_reactor
+
+    @property
+    def resolved(self) -> bool:
+        return self.state != _PENDING
+
+    @property
+    def failed(self) -> bool:
+        return self.state == _FAILED
+
+    def resolve(self, value: Any, now: float) -> None:
+        if self.state != _PENDING:
+            raise SimulationError("future resolved twice")
+        self.state = _RESOLVED
+        self.value = value
+        self.resolved_at = now
+        self._notify()
+
+    def fail(self, error: BaseException, now: float) -> None:
+        if self.state != _PENDING:
+            raise SimulationError("future resolved twice")
+        self.state = _FAILED
+        self.error = error
+        self.resolved_at = now
+        self._notify()
+
+    def add_waiter(self, callback: Callable[["SimFuture"], None]) -> None:
+        """At most one waiter: the task blocked on this future."""
+        if self._waiter is not None:
+            raise SimulationError(
+                "two waiters on one future: a sub-transaction result can "
+                "only be awaited by its calling transaction"
+            )
+        self._waiter = callback
+        if self.resolved:
+            self._notify()
+
+    def _notify(self) -> None:
+        if self._waiter is not None and self.resolved:
+            waiter, self._waiter = self._waiter, None
+            waiter(self)
+
+    def result(self) -> Any:
+        """The resolved value; raises the sub-transaction's error."""
+        if not self.resolved:
+            raise SimulationError("result() on unresolved future")
+        self.consumed = True
+        if self.state == _FAILED:
+            assert self.error is not None
+            raise self.error
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"SimFuture({self.state}, sub={self.subtxn_id}, "
+                f"target={self.target_reactor!r}, remote={self.remote})")

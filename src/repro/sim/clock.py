@@ -1,0 +1,48 @@
+"""Virtual clock for the discrete-event simulator.
+
+All simulated time in this library is expressed in **microseconds** as
+floats, matching the microsecond scale of the paper's latency results.
+The clock only moves forward when the scheduler dispatches events; there
+is no relation to wall-clock time.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class VirtualClock:
+    """A monotonically non-decreasing virtual clock.
+
+    The scheduler owns the clock and advances it to each event's
+    timestamp.  Components read :attr:`now` to timestamp measurements.
+    """
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move the clock forward to ``timestamp``.
+
+        Raises:
+            SimulationError: if ``timestamp`` is in the past; events must
+                be dispatched in non-decreasing time order.
+        """
+        if timestamp < self._now - 1e-9:
+            raise SimulationError(
+                f"clock cannot move backwards: now={self._now}, "
+                f"requested={timestamp}"
+            )
+        if timestamp > self._now:
+            self._now = timestamp
+
+    def reset(self, start: float = 0.0) -> None:
+        """Rewind the clock; only for reuse across independent runs."""
+        self._now = float(start)

@@ -1,0 +1,104 @@
+"""Cost parameters for the simulated machine.
+
+Every time-consuming action in ReactDB charges virtual CPU according to
+a :class:`CostParameters` instance.  The parameter names follow the
+paper's computational cost model (Section 2.4):
+
+* ``cs`` — the cost, paid by the caller, to *send* a sub-transaction
+  invocation to a reactor hosted by another transaction executor.  On
+  real hardware this is an atomic enqueue on the target's request queue,
+  hence cheap.
+* ``cr`` — the cost, paid by the caller, to *receive* a result from a
+  remote sub-transaction it blocked on.  On real hardware this is a
+  thread switch across cores, hence several times more expensive than
+  ``cs``.  This asymmetry is what separates *partially-async* from
+  *fully-async* program formulations in Figure 5, and we reproduce it
+  explicitly.
+* ``cr_ready`` — consuming a future whose result already arrived costs
+  only a flag check, no thread switch.
+
+Per-operation data costs (``read_cost`` etc.) model index lookups and
+tuple copies; ``cold_access_factor`` models the cache-miss penalty of
+touching a reactor whose working set lives in another core's cache
+(the affinity effects of Section 4.3 and Appendix F).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """All virtual-time costs, in microseconds.
+
+    Instances are immutable; use :meth:`scaled` or ``dataclasses.replace``
+    to derive variants (e.g., for ablations that equalize ``cs``/``cr``).
+    """
+
+    # Cross-executor communication (the paper's Cs / Cr).
+    cs: float = 1.5
+    cr: float = 4.5
+    cr_ready: float = 0.15
+    transport_delay: float = 0.5
+
+    # Client (worker) <-> executor round trip: the "containerization
+    # overhead" of Appendix F.3 (worker thread switch costs).
+    client_send: float = 1.0
+    executor_wake: float = 2.0
+    client_receive: float = 3.0
+    input_gen: float = 1.5
+
+    # Data operations inside a reactor.
+    read_cost: float = 0.5
+    write_cost: float = 0.6
+    insert_cost: float = 0.8
+    delete_cost: float = 0.6
+    scan_row_cost: float = 0.18
+    proc_base_cost: float = 0.3
+
+    # Commit path.
+    occ_validate_per_read: float = 0.04
+    occ_install_per_write: float = 0.08
+    occ_commit_base: float = 1.0
+    tpc_prepare_per_container: float = 1.2
+    abort_cost: float = 0.5
+
+    # Cache-affinity modelling: operations on a reactor whose data was
+    # last touched by a different core are penalized by this factor for
+    # the duration of the transaction (the reactor then becomes warm on
+    # the new core).
+    cold_access_factor: float = 2.3
+
+    # Computational kernels (sim_risk, stock replenishment delays).
+    rand_cost: float = 0.006
+
+    def scaled(self, factor: float) -> "CostParameters":
+        """Uniformly scale all CPU/communication costs by ``factor``.
+
+        Used to derive slower-clock machine profiles from a reference
+        profile.  The scaling applies to every cost except
+        ``cold_access_factor`` (a ratio) and ``rand_cost`` consumers can
+        scale separately.
+        """
+        fields = {
+            name: getattr(self, name) * factor
+            for name in (
+                "cs", "cr", "cr_ready", "transport_delay", "client_send",
+                "executor_wake", "client_receive", "input_gen", "read_cost",
+                "write_cost", "insert_cost", "delete_cost", "scan_row_cost",
+                "proc_base_cost", "occ_validate_per_read",
+                "occ_install_per_write", "occ_commit_base",
+                "tpc_prepare_per_container", "abort_cost", "rand_cost",
+            )
+        }
+        return replace(self, **fields)
+
+    def with_symmetric_communication(self) -> "CostParameters":
+        """Ablation variant where receiving is as cheap as sending.
+
+        Used by ``bench_ablation_cr_asymmetry`` to test the paper's claim
+        that the partially-async vs fully-async gap is caused by the
+        receive-path thread switch.
+        """
+        return replace(self, cr=self.cs, cr_ready=min(self.cr_ready, self.cs))

@@ -1,0 +1,91 @@
+"""Machine profiles mirroring the paper's two testbeds.
+
+The paper evaluates on two machines:
+
+* a 4-core (8 hardware threads) 3.6 GHz Intel Xeon E3-1276 with uniform
+  memory access, used for the microsecond-scale latency-control
+  experiments (Section 4.2, Appendices B and C);
+* a dual-socket 16-core (32 hardware threads) 2.1 GHz AMD Opteron 6274
+  with accentuated cache-coherence and cross-core synchronization costs,
+  used for the virtualization/load experiments (Section 4.3,
+  Appendices D-G).
+
+A :class:`MachineProfile` bundles the number of usable hardware threads
+with a :class:`~repro.sim.costs.CostParameters` set.  The Opteron
+profile has slower per-operation costs (lower clock) and markedly more
+expensive cross-core communication and client dispatch (two sockets),
+which is what makes architecture choice matter more on it — exactly the
+reason the paper picked it for the virtualization experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.costs import CostParameters
+
+
+@dataclass(frozen=True)
+class MachineProfile:
+    """A simulated machine: core budget plus cost parameters."""
+
+    name: str
+    hardware_threads: int
+    costs: CostParameters = field(default_factory=CostParameters)
+
+    def __post_init__(self) -> None:
+        if self.hardware_threads < 1:
+            raise ValueError("a machine needs at least one hardware thread")
+
+
+#: 4-core / 8-thread 3.6 GHz Xeon E3-1276 (latency experiments).
+XEON_E3_1276 = MachineProfile(
+    name="xeon-e3-1276",
+    hardware_threads=8,
+    costs=CostParameters(),
+)
+
+#: Dual-socket 16-core / 32-thread 2.1 GHz Opteron 6274 (load experiments).
+#: Roughly 1.7x slower clock and ~2-4x more expensive cross-core paths.
+OPTERON_6274 = MachineProfile(
+    name="opteron-6274",
+    hardware_threads=32,
+    costs=CostParameters(
+        cs=3.0,
+        cr=9.0,
+        cr_ready=0.25,
+        transport_delay=1.0,
+        client_send=4.0,
+        executor_wake=6.0,
+        client_receive=12.0,
+        input_gen=2.5,
+        read_cost=0.85,
+        write_cost=1.0,
+        insert_cost=1.35,
+        delete_cost=1.0,
+        scan_row_cost=0.3,
+        proc_base_cost=0.5,
+        occ_validate_per_read=0.07,
+        occ_install_per_write=0.14,
+        occ_commit_base=1.7,
+        tpc_prepare_per_container=2.0,
+        abort_cost=0.85,
+        cold_access_factor=2.3,
+        rand_cost=0.010,
+    ),
+)
+
+#: Registry for config-file lookup (deployments name their machine).
+PROFILES: dict[str, MachineProfile] = {
+    XEON_E3_1276.name: XEON_E3_1276,
+    OPTERON_6274.name: OPTERON_6274,
+}
+
+
+def get_profile(name: str) -> MachineProfile:
+    """Look up a machine profile by name (for JSON deployment configs)."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(PROFILES))
+        raise KeyError(f"unknown machine profile {name!r}; known: {known}")

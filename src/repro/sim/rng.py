@@ -1,0 +1,78 @@
+"""Deterministic random number helpers.
+
+Every stochastic choice in a simulation (workload inputs, zipfian keys,
+uniform delays) flows through a named child of one root seed so that
+runs are reproducible and independent components do not perturb each
+other's streams when one of them draws more numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+
+class RngFactory:
+    """Produces independent, deterministically seeded RNG streams."""
+
+    def __init__(self, seed: int = 42) -> None:
+        self._seed = seed
+
+    def stream(self, name: str) -> random.Random:
+        """A reproducible stream; the same name always yields the same
+        sequence for a given root seed."""
+        return random.Random(f"{self._seed}/{name}")
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in ``[0, n)``.
+
+    Implements the classic rejection-free inverse-CDF approximation used
+    by YCSB (Gray et al.), so that the Appendix C skew experiment matches
+    the benchmark's key-popularity profile.  ``theta`` is the zipfian
+    constant: 0 approaches uniform, 0.99 is YCSB's default "zipfian",
+    large values concentrate on a single key.
+    """
+
+    def __init__(self, n: int, theta: float, rng: random.Random) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if theta < 0:
+            raise ValueError("theta must be non-negative")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        if theta == 0:
+            return
+        self._zetan = self._zeta(n, theta)
+        self._zeta2 = self._zeta(2, theta)
+        self._alpha = 1.0 / (1.0 - theta) if theta != 1.0 else float("inf")
+        self._eta = self._compute_eta()
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def _compute_eta(self) -> float:
+        if self.theta == 1.0:
+            return 0.0
+        return (1 - (2.0 / self.n) ** (1 - self.theta)) / (
+            1 - self._zeta2 / self._zetan
+        )
+
+    def next(self) -> int:
+        """Draw one zipfian value in ``[0, n)`` (0 is the most popular)."""
+        if self.theta == 0:
+            return self._rng.randrange(self.n)
+        u = self._rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        if self.theta == 1.0:
+            # Harmonic special case: invert the log CDF.
+            return min(self.n - 1,
+                       max(0, int(math.exp(u * math.log(self.n))) - 1))
+        value = int(self.n * ((self._eta * u - self._eta + 1) ** self._alpha))
+        return min(max(value, 0), self.n - 1)

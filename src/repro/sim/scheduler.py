@@ -1,0 +1,131 @@
+"""Discrete-event scheduler.
+
+The scheduler is a priority queue of ``(time, sequence, callback)``
+entries.  Ties on time are broken by insertion order (the sequence
+number), which makes every simulation fully deterministic: the same
+inputs always produce the same interleavings, aborts, and latencies.
+
+The scheduler is deliberately minimal: components (executors, workers,
+transports) express their behaviour as callbacks that schedule further
+callbacks.  Generators/coroutines for transaction logic are layered on
+top by :mod:`repro.runtime.executor` — the scheduler itself knows
+nothing about transactions.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+
+
+class Event:
+    """A scheduled callback; cancellable."""
+
+    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any],
+                 args: tuple) -> None:
+        self.time = time
+        self.seq = seq
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        name = getattr(self.fn, "__qualname__", repr(self.fn))
+        return f"Event(t={self.time:.3f}, seq={self.seq}, fn={name})"
+
+
+class SimScheduler:
+    """The event loop driving a simulation run."""
+
+    def __init__(self) -> None:
+        self.clock = VirtualClock()
+        self._queue: list[Event] = []
+        self._seq = 0
+        self._dispatched = 0
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self.clock.now
+
+    @property
+    def events_dispatched(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._dispatched
+
+    def at(self, timestamp: float, fn: Callable[..., Any],
+           *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at an absolute virtual time."""
+        if timestamp < self.clock.now - 1e-9:
+            raise SimulationError(
+                f"cannot schedule in the past: now={self.clock.now}, "
+                f"requested={timestamp}"
+            )
+        event = Event(max(timestamp, self.clock.now), self._seq, fn, args)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return event
+
+    def after(self, delay: float, fn: Callable[..., Any],
+              *args: Any) -> Event:
+        """Schedule ``fn(*args)`` after ``delay`` microseconds."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        return self.at(self.clock.now + delay, fn, *args)
+
+    def soon(self, fn: Callable[..., Any], *args: Any) -> Event:
+        """Schedule ``fn(*args)`` at the current time (after this event)."""
+        return self.at(self.clock.now, fn, *args)
+
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
+        """Dispatch events until the queue drains or a bound is reached.
+
+        Args:
+            until: stop once the next event is strictly later than this
+                virtual time (the clock is left at ``until``).
+            max_events: safety valve against runaway simulations.
+        """
+        if self._running:
+            raise SimulationError("scheduler is not re-entrant")
+        self._running = True
+        try:
+            dispatched = 0
+            while self._queue:
+                event = self._queue[0]
+                if event.cancelled:
+                    heapq.heappop(self._queue)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._queue)
+                self.clock.advance_to(event.time)
+                event.fn(*event.args)
+                self._dispatched += 1
+                dispatched += 1
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(
+                        f"exceeded max_events={max_events}; "
+                        "possible livelock in the simulation"
+                    )
+            if until is not None and self.clock.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for e in self._queue if not e.cancelled)

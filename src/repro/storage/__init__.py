@@ -1,0 +1,11 @@
+"""Transactional storage primitives: versioned records.
+
+The record manager interface the paper mentions ("pre-compiled stored
+procedures ... against a record manager interface") is realized by
+:class:`~repro.concurrency.occ.OCCSession`, which overlays uncommitted
+writes on the committed :class:`~repro.relational.table.Table` state.
+"""
+
+from repro.storage.record import VersionedRecord
+
+__all__ = ["VersionedRecord"]

@@ -1,0 +1,62 @@
+"""Versioned records (Silo-style TID words).
+
+Each committed row lives in exactly one :class:`VersionedRecord`.  The
+record carries the transaction id (TID) of the transaction that last
+wrote it; OCC read sets remember ``(record, tid_at_read)`` pairs and
+validation detects concurrent writers by comparing the current TID.
+
+A lightweight lock field stands in for Silo's TID-word lock bit: write
+locks are taken during the validation/installation window (and held
+across 2PC phases for multi-container transactions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+
+class VersionedRecord:
+    """One row version chain collapsed to its latest committed state."""
+
+    __slots__ = ("key", "value", "tid", "locked_by", "deleted")
+
+    def __init__(self, key: tuple, value: dict[str, Any], tid: int) -> None:
+        self.key = key
+        self.value = value
+        self.tid = tid
+        #: Transaction id currently holding the write lock, or ``None``.
+        self.locked_by: int | None = None
+        self.deleted = False
+
+    def is_locked_by_other(self, txn_id: int) -> bool:
+        return self.locked_by is not None and self.locked_by != txn_id
+
+    def lock(self, txn_id: int) -> bool:
+        """Try to take the write lock; idempotent for the same owner."""
+        if self.locked_by is None or self.locked_by == txn_id:
+            self.locked_by = txn_id
+            return True
+        return False
+
+    def unlock(self, txn_id: int) -> None:
+        if self.locked_by == txn_id:
+            self.locked_by = None
+
+    def install(self, value: Mapping[str, Any], tid: int) -> None:
+        """Overwrite the committed image with a new version."""
+        self.value = dict(value)
+        self.tid = tid
+        self.deleted = False
+
+    def mark_deleted(self, tid: int) -> None:
+        """Tombstone the record; readers holding it fail validation."""
+        self.tid = tid
+        self.deleted = True
+
+    def snapshot(self) -> dict[str, Any]:
+        """A defensive copy of the committed row image."""
+        return dict(self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "deleted" if self.deleted else "live"
+        return f"VersionedRecord(key={self.key!r}, tid={self.tid}, {state})"

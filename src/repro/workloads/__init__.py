@@ -1,0 +1,11 @@
+"""Benchmark workloads expressed in the reactor programming model.
+
+* :mod:`repro.workloads.smallbank` — extended Smallbank with the
+  multi-transfer formulations (Sections 4.1.3-4.2, Appendices B, H);
+* :mod:`repro.workloads.tpcc` — full TPC-C port, warehouse = reactor
+  (Section 4.3, Appendices D-F);
+* :mod:`repro.workloads.ycsb` — YCSB with multi_update, key = reactor
+  (Appendix C);
+* :mod:`repro.workloads.exchange` — the digital currency exchange of
+  Figure 1 (Appendix G).
+"""

@@ -1,0 +1,372 @@
+"""The digital currency exchange of Figure 1 (evaluated in Appendix G).
+
+A simplified exchange settles credit-card-funded currency orders under
+two risk rules: per-provider unsettled exposure must stay below
+``p_exposure``, and the risk-adjusted exposure across providers must
+stay below ``g_risk``.  Risk adjustment runs an expensive Monte-Carlo
+kernel ``sim_risk`` whose result is cached for a time window.
+
+Three program/deployment strategies from Appendix G:
+
+* ``sequential`` — the classic transactional formulation of Figure
+  1(a) on a single reactor holding all relations; everything runs on
+  one executor.
+* ``query-parallelism`` — the same classic program, but with the
+  ``orders`` relation horizontally partitioned across fragment
+  reactors: the join/scan parallelizes (what a query optimizer could
+  do), while ``sim_risk`` still runs sequentially at the exchange.
+* ``procedure-parallelism`` — the reactor formulation of Figure 1(b):
+  each provider reactor runs ``calc_risk`` (scan *and* ``sim_risk``)
+  in parallel.
+
+As in the paper, the scan per provider covers a fixed window of recent
+orders (modeling a concurrent settlement process that keeps the
+unsettled set bounded), and ``sim_risk`` is simulated by generating a
+configured number of random numbers.  Risk-cache windows are loaded at
+zero so ``sim_risk`` always recomputes, and limits are loaded high so
+transactions never abort (Appendix G methodology).
+"""
+
+from __future__ import annotations
+
+from repro.core.database import ReactorDatabase
+from repro.core.reactor import ReactorType
+from repro.relational import (
+    IndexSpec,
+    float_col,
+    int_col,
+    make_schema,
+    str_col,
+)
+
+EXCHANGE_NAME = "exchange"
+
+#: Loaded so that aborts never fire and sim_risk always recomputes.
+P_EXPOSURE = 1e12
+G_RISK = 1e12
+
+#: Orders scanned per provider per authorization (the paper tunes this
+#: window; we default lower to keep pure-Python scans tractable).
+DEFAULT_WINDOW = 200
+DEFAULT_ORDERS_PER_PROVIDER = 2000
+
+
+def provider_name(index: int) -> str:
+    return f"provider{index}"
+
+
+def fragment_name(index: int) -> str:
+    return f"orders_frag{index}"
+
+
+def provider_index(name: str) -> int:
+    """Inverse of :func:`provider_name` (providers sort
+    lexicographically, so positional pairing would be wrong)."""
+    return int(name[len("provider"):])
+
+
+def _sim_risk_value(exposure: float) -> float:
+    """The (deterministic stand-in) risk model output."""
+    return exposure * 0.5 + 1.0
+
+
+# ----------------------------------------------------------------------
+# Reactor formulation (Figure 1b): Exchange + Provider reactors
+# ----------------------------------------------------------------------
+
+def provider_reactor_schema():
+    return [
+        make_schema("provider_info", [
+            str_col("key"), float_col("risk"), float_col("time"),
+            float_col("window"), int_col("next_time"),
+            int_col("scan_window"),
+        ], ["key"]),
+        make_schema("orders", [
+            int_col("time"), int_col("wallet"), float_col("value"),
+            str_col("settled"),
+        ], ["time"], [IndexSpec("by_time", ("time",), ordered=True)]),
+    ]
+
+
+def exchange_reactor_schema():
+    return [
+        make_schema("settlement_risk", [
+            str_col("key"), float_col("p_exposure"), float_col("g_risk"),
+        ], ["key"]),
+        make_schema("provider_names", [str_col("value")], ["value"]),
+    ]
+
+
+PROVIDER = ReactorType("Provider", provider_reactor_schema)
+EXCHANGE = ReactorType("Exchange", exchange_reactor_schema)
+
+
+@PROVIDER.procedure
+def calc_risk(ctx, p_exposure: float, sim_risk_randoms: int):
+    """Figure 1(b): exposure check + (re)computation of provider risk.
+
+    The exposure scan covers the provider's recent-order window
+    (reverse range scan by time), mirroring the classic formulation's
+    tuned window so the strategies compare like for like.
+    """
+    info = ctx.lookup("provider_info", "info")
+    low = info["next_time"] - info["scan_window"]
+    recent = ctx.select("orders", index="by_time", low=(low,),
+                        high=None)
+    exposure = sum(r["value"] for r in recent if r["settled"] == "N")
+    if exposure > p_exposure:
+        ctx.abort(f"provider {ctx.my_name()!r} exposure {exposure} "
+                  f"above limit")
+    p_risk = info["risk"]
+    if info["time"] < ctx.now - info["window"]:
+        # sim_risk: the expensive Monte-Carlo kernel, modeled by its
+        # random-number-generation cost as in the paper's experiments.
+        yield ctx.simulate_random_work(sim_risk_randoms)
+        p_risk = _sim_risk_value(exposure)
+        ctx.update("provider_info", "info",
+                   {"risk": p_risk, "time": ctx.now})
+    return p_risk
+
+
+@PROVIDER.procedure
+def add_entry(ctx, wallet: int, value: float):
+    """Figure 1(b): record a new unsettled order at this provider."""
+    info = ctx.lookup("provider_info", "info")
+    order_time = info["next_time"]
+    ctx.update("provider_info", "info", {"next_time": order_time + 1})
+    ctx.insert("orders", {
+        "time": order_time, "wallet": wallet, "value": value,
+        "settled": "N",
+    })
+
+
+@EXCHANGE.procedure
+def auth_pay(ctx, pprovider: str, pwallet: int, pvalue: float,
+             sim_risk_randoms: int):
+    """Figure 1(b): authorize a payment with parallel risk checks."""
+    limits = ctx.lookup("settlement_risk", "limits")
+    risk, exposure = limits["g_risk"], limits["p_exposure"]
+    results = []
+    for row in ctx.select("provider_names"):
+        res = yield ctx.call(row["value"], "calc_risk", exposure,
+                             sim_risk_randoms)
+        results.append(res)
+    total_risk = 0.0
+    for res in results:
+        total_risk += (yield ctx.get(res))
+    if total_risk + pvalue < risk:
+        yield ctx.call(pprovider, "add_entry", pwallet, pvalue)
+    else:
+        ctx.abort("global risk limit exceeded")
+
+
+# ----------------------------------------------------------------------
+# Classic formulation (Figure 1a): one stored procedure over shared
+# relations; optionally with the orders relation partitioned into
+# fragment reactors for query-level parallelism.
+# ----------------------------------------------------------------------
+
+def classic_exchange_schema():
+    return [
+        make_schema("settlement_risk", [
+            str_col("key"), float_col("p_exposure"), float_col("g_risk"),
+        ], ["key"]),
+        make_schema("provider", [
+            str_col("name"), float_col("risk"), float_col("time"),
+            float_col("window"), int_col("next_time"),
+            int_col("scan_window"),
+        ], ["name"]),
+        make_schema("orders", [
+            str_col("provider"), int_col("time"), int_col("wallet"),
+            float_col("value"), str_col("settled"),
+        ], ["provider", "time"], [
+            IndexSpec("by_provider_time", ("provider", "time"),
+                      ordered=True),
+        ]),
+    ]
+
+
+def fragment_schema():
+    return [
+        make_schema("orders", [
+            str_col("provider"), int_col("time"), int_col("wallet"),
+            float_col("value"), str_col("settled"),
+        ], ["provider", "time"], [
+            IndexSpec("by_provider_time", ("provider", "time"),
+                      ordered=True),
+        ]),
+    ]
+
+
+CLASSIC_EXCHANGE = ReactorType("ClassicExchange", classic_exchange_schema)
+ORDERS_FRAGMENT = ReactorType("OrdersFragment", fragment_schema)
+
+
+def _window_exposure(rows) -> float:
+    return sum(r["value"] for r in rows if r["settled"] == "N")
+
+
+@CLASSIC_EXCHANGE.procedure
+def auth_pay_sequential(ctx, pprovider: str, pwallet: int,
+                        pvalue: float, sim_risk_randoms: int):
+    """Figure 1(a) verbatim: sequential scan + sim_risk per provider."""
+    limits = ctx.lookup("settlement_risk", "limits")
+    risk, exposure_limit = limits["g_risk"], limits["p_exposure"]
+    total_risk = 0.0
+    for provider in ctx.select("provider"):
+        low = (provider["name"],
+               provider["next_time"] - provider["scan_window"])
+        high = (provider["name"],)
+        window = ctx.select("orders", index="by_provider_time",
+                            low=low, high=high)
+        exposure = _window_exposure(window)
+        if exposure > exposure_limit:
+            ctx.abort("provider exposure above limit")
+        if provider["time"] < ctx.now - provider["window"]:
+            yield ctx.simulate_random_work(sim_risk_randoms)
+            p_risk = _sim_risk_value(exposure)
+            ctx.update("provider", provider["name"],
+                       {"risk": p_risk, "time": ctx.now})
+            total_risk += p_risk
+        else:
+            total_risk += provider["risk"]
+    if total_risk + pvalue < risk:
+        provider = ctx.lookup("provider", pprovider)
+        order_time = provider["next_time"]
+        ctx.update("provider", pprovider,
+                   {"next_time": order_time + 1})
+        ctx.insert("orders", {
+            "provider": pprovider, "time": order_time,
+            "wallet": pwallet, "value": pvalue, "settled": "N",
+        })
+    else:
+        ctx.abort("global risk limit exceeded")
+
+
+@ORDERS_FRAGMENT.procedure
+def scan_exposure(ctx, provider: str, low_time: int):
+    """Parallelizable part of the classic join: one fragment's scan."""
+    window = ctx.select("orders", index="by_provider_time",
+                        low=(provider, low_time), high=(provider,))
+    return _window_exposure(window)
+
+
+@ORDERS_FRAGMENT.procedure
+def append_order(ctx, provider: str, order_time: int, wallet: int,
+                 value: float):
+    ctx.insert("orders", {
+        "provider": provider, "time": order_time, "wallet": wallet,
+        "value": value, "settled": "N",
+    })
+
+
+@CLASSIC_EXCHANGE.procedure
+def auth_pay_query_parallel(ctx, pprovider: str, pwallet: int,
+                            pvalue: float, sim_risk_randoms: int):
+    """Figure 1(a) under a parallelized foreign-key join.
+
+    The per-provider scans fan out to the fragment reactors (what a
+    query optimizer could parallelize), but every ``sim_risk`` still
+    runs sequentially at the exchange — the contrast Appendix G draws
+    against holistic procedure-level parallelism.
+    """
+    limits = ctx.lookup("settlement_risk", "limits")
+    risk, exposure_limit = limits["g_risk"], limits["p_exposure"]
+    providers = ctx.select("provider")
+    futures = []
+    for provider in providers:
+        fut = yield ctx.call(
+            fragment_name(provider_index(provider["name"])),
+            "scan_exposure", provider["name"],
+            provider["next_time"] - provider["scan_window"])
+        futures.append(fut)
+    total_risk = 0.0
+    for provider, fut in zip(providers, futures):
+        exposure = yield ctx.get(fut)
+        if exposure > exposure_limit:
+            ctx.abort("provider exposure above limit")
+        if provider["time"] < ctx.now - provider["window"]:
+            yield ctx.simulate_random_work(sim_risk_randoms)
+            p_risk = _sim_risk_value(exposure)
+            ctx.update("provider", provider["name"],
+                       {"risk": p_risk, "time": ctx.now})
+            total_risk += p_risk
+        else:
+            total_risk += provider["risk"]
+    if total_risk + pvalue < risk:
+        provider = ctx.lookup("provider", pprovider)
+        order_time = provider["next_time"]
+        ctx.update("provider", pprovider,
+                   {"next_time": order_time + 1})
+        yield ctx.call(fragment_name(provider_index(pprovider)),
+                       "append_order", pprovider, order_time, pwallet,
+                       pvalue)
+    else:
+        ctx.abort("global risk limit exceeded")
+
+
+# ----------------------------------------------------------------------
+# Loading
+# ----------------------------------------------------------------------
+
+def load_reactor_model(database: ReactorDatabase, n_providers: int,
+                       orders_per_provider: int =
+                       DEFAULT_ORDERS_PER_PROVIDER,
+                       window: int = DEFAULT_WINDOW) -> None:
+    """Populate the Figure 1(b) database (Exchange + Providers)."""
+    database.load(EXCHANGE_NAME, "settlement_risk", [{
+        "key": "limits", "p_exposure": P_EXPOSURE, "g_risk": G_RISK,
+    }])
+    database.load(EXCHANGE_NAME, "provider_names", [
+        {"value": provider_name(i)} for i in range(n_providers)
+    ])
+    for i in range(n_providers):
+        name = provider_name(i)
+        database.load(name, "provider_info", [{
+            "key": "info", "risk": 0.0, "time": -1e18, "window": 0.0,
+            "next_time": orders_per_provider,
+            "scan_window": window,
+        }])
+        database.load(name, "orders", (
+            {"time": t, "wallet": t % 97,
+             "value": float(t % 50) + 1.0,
+             "settled": "N" if t % 3 == 0 else "Y"}
+            for t in range(orders_per_provider)
+        ))
+
+
+def load_classic(database: ReactorDatabase, n_providers: int,
+                 partitioned: bool,
+                 orders_per_provider: int = DEFAULT_ORDERS_PER_PROVIDER,
+                 window: int = DEFAULT_WINDOW) -> None:
+    """Populate the Figure 1(a) database.
+
+    ``partitioned=False`` puts everything on the single classic
+    exchange reactor (sequential strategy); ``partitioned=True``
+    spreads ``orders`` over one fragment reactor per provider
+    (query-parallelism strategy).
+    """
+    database.load(EXCHANGE_NAME, "settlement_risk", [{
+        "key": "limits", "p_exposure": P_EXPOSURE, "g_risk": G_RISK,
+    }])
+    database.load(EXCHANGE_NAME, "provider", [
+        {"name": provider_name(i), "risk": 0.0, "time": -1e18,
+         "window": 0.0, "next_time": orders_per_provider,
+         "scan_window": window}
+        for i in range(n_providers)
+    ])
+
+    def order_rows(i: int):
+        name = provider_name(i)
+        return (
+            {"provider": name, "time": t, "wallet": t % 97,
+             "value": float(t % 50) + 1.0,
+             "settled": "N" if t % 3 == 0 else "Y"}
+            for t in range(orders_per_provider)
+        )
+
+    for i in range(n_providers):
+        if partitioned:
+            database.load(fragment_name(i), "orders", order_rows(i))
+        else:
+            database.load(EXCHANGE_NAME, "orders", order_rows(i))

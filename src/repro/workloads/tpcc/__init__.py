@@ -1,0 +1,38 @@
+"""TPC-C benchmark port: warehouse = reactor (paper Section 4.1.3)."""
+
+from repro.workloads.tpcc.consistency import (
+    ConsistencyViolation,
+    check_database,
+    check_warehouse,
+)
+from repro.workloads.tpcc.loader import declarations, last_name, load
+from repro.workloads.tpcc.procedures import (
+    WAREHOUSE,
+    warehouse_id,
+    warehouse_name,
+)
+from repro.workloads.tpcc.schema import TpccScale, warehouse_schema
+from repro.workloads.tpcc.workload import (
+    NEW_ORDER_ONLY,
+    STANDARD_MIX,
+    TpccWorkload,
+    nurand,
+)
+
+__all__ = [
+    "ConsistencyViolation",
+    "check_database",
+    "check_warehouse",
+    "WAREHOUSE",
+    "warehouse_schema",
+    "warehouse_name",
+    "warehouse_id",
+    "TpccScale",
+    "declarations",
+    "load",
+    "last_name",
+    "TpccWorkload",
+    "STANDARD_MIX",
+    "NEW_ORDER_ONLY",
+    "nurand",
+]

@@ -1,0 +1,112 @@
+"""TPC-C consistency conditions.
+
+The TPC-C specification (clause 3.3.2) defines consistency conditions
+that must hold in any valid database state.  The checks below cover
+the conditions expressible in our (payment-history simplified) schema
+and serve as deep integration tests: after any mix of concurrent
+transactions, a serializable engine must preserve all of them.
+
+* **C1** — for each district: ``d_next_o_id - 1`` equals the maximum
+  ``o_id`` in ``orders`` (and in ``new_order`` when non-empty);
+* **C2** — for each district: new_order rows form a contiguous range
+  of the most recent orders;
+* **C3** — for each order: ``o_ol_cnt`` equals its number of
+  order-line rows;
+* **C4** — delivered orders (carrier set) have no new_order row and
+  undelivered orders have exactly one;
+* **C5** — order lines of delivered orders carry a delivery
+  timestamp, those of undelivered orders do not.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.database import ReactorDatabase
+from repro.workloads.tpcc.procedures import warehouse_name
+
+
+class ConsistencyViolation(AssertionError):
+    """A TPC-C consistency condition failed."""
+
+
+def check_warehouse(database: ReactorDatabase, w_id: int) -> None:
+    """Check all conditions for one warehouse reactor."""
+    name = warehouse_name(w_id)
+    districts = database.table_rows(name, "district")
+    orders = database.table_rows(name, "orders")
+    new_orders = database.table_rows(name, "new_order")
+    order_lines = database.table_rows(name, "order_line")
+
+    orders_by_district: dict[int, list[dict[str, Any]]] = {}
+    for order in orders:
+        orders_by_district.setdefault(order["o_d_id"], []).append(order)
+    new_by_district: dict[int, set[int]] = {}
+    for row in new_orders:
+        new_by_district.setdefault(row["no_d_id"], set()).add(
+            row["no_o_id"])
+    lines_by_order: dict[tuple[int, int], list[dict[str, Any]]] = {}
+    for line in order_lines:
+        key = (line["ol_d_id"], line["ol_o_id"])
+        lines_by_order.setdefault(key, []).append(line)
+
+    for district in districts:
+        d_id = district["d_id"]
+        d_orders = orders_by_district.get(d_id, [])
+        max_o_id = max((o["o_id"] for o in d_orders), default=0)
+
+        # C1: the district order counter is exactly one past the
+        # newest order.
+        if district["d_next_o_id"] != max_o_id + 1:
+            raise ConsistencyViolation(
+                f"C1: wh {w_id} district {d_id}: d_next_o_id="
+                f"{district['d_next_o_id']} but max(o_id)={max_o_id}")
+
+        # C2: undelivered order ids form a contiguous top range.
+        pending = sorted(new_by_district.get(d_id, set()))
+        if pending:
+            expected = list(range(pending[0], pending[0] +
+                                  len(pending)))
+            if pending != expected or pending[-1] != max_o_id:
+                raise ConsistencyViolation(
+                    f"C2: wh {w_id} district {d_id}: new_order ids "
+                    f"{pending} are not the contiguous newest range")
+
+        for order in d_orders:
+            key = (d_id, order["o_id"])
+            lines = lines_by_order.get(key, [])
+            # C3: order line count matches the order header.
+            if order["o_ol_cnt"] != len(lines):
+                raise ConsistencyViolation(
+                    f"C3: wh {w_id} order {key}: o_ol_cnt="
+                    f"{order['o_ol_cnt']} but {len(lines)} lines")
+            delivered = order["o_carrier_id"] is not None
+            in_new_order = order["o_id"] in \
+                new_by_district.get(d_id, set())
+            # C4: delivery status agrees with the new_order table.
+            if delivered and in_new_order:
+                raise ConsistencyViolation(
+                    f"C4: wh {w_id} order {key} delivered but still "
+                    "in new_order")
+            if not delivered and not in_new_order:
+                raise ConsistencyViolation(
+                    f"C4: wh {w_id} order {key} undelivered but "
+                    "missing from new_order")
+            # C5: line delivery timestamps agree with the header.
+            for line in lines:
+                has_ts = line["ol_delivery_d"] is not None
+                if delivered and not has_ts:
+                    raise ConsistencyViolation(
+                        f"C5: wh {w_id} order {key} delivered but "
+                        f"line {line['ol_number']} has no timestamp")
+                if not delivered and has_ts:
+                    raise ConsistencyViolation(
+                        f"C5: wh {w_id} order {key} undelivered but "
+                        f"line {line['ol_number']} has a timestamp")
+
+
+def check_database(database: ReactorDatabase,
+                   n_warehouses: int) -> None:
+    """Check every warehouse; raises on the first violation."""
+    for w_id in range(1, n_warehouses + 1):
+        check_warehouse(database, w_id)

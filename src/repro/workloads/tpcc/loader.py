@@ -1,0 +1,125 @@
+"""TPC-C initial database population.
+
+Deterministic (seeded) population of every warehouse reactor according
+to :class:`~repro.workloads.tpcc.schema.TpccScale`.  Follows the spec's
+structure — delivered and undelivered initial orders, customer last
+names shared across a bucket of customers (so payment-by-last-name
+scans return several rows), per-district order id counters — at the
+configured cardinalities.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.database import ReactorDatabase
+from repro.core.reactor import ReactorType
+from repro.workloads.tpcc.procedures import WAREHOUSE, warehouse_name
+from repro.workloads.tpcc.schema import TpccScale
+
+#: Syllables used by the spec to build customer last names.
+_SYLLABLES = ("BAR", "OUGHT", "ABLE", "PRI", "PRES",
+              "ESE", "ANTI", "CALLY", "ATION", "EING")
+
+
+def last_name(number: int) -> str:
+    """Spec last-name generator from a three-digit number."""
+    return (_SYLLABLES[(number // 100) % 10]
+            + _SYLLABLES[(number // 10) % 10]
+            + _SYLLABLES[number % 10])
+
+
+def declarations(n_warehouses: int) -> list[tuple[str, ReactorType]]:
+    """Reactor declarations: warehouses are 1-based as in the spec."""
+    return [(warehouse_name(w), WAREHOUSE)
+            for w in range(1, n_warehouses + 1)]
+
+
+def load(database: ReactorDatabase, n_warehouses: int,
+         scale: TpccScale | None = None, seed: int = 7) -> None:
+    """Populate all warehouse reactors (non-transactional bulk load)."""
+    scale = scale or TpccScale()
+    for w_id in range(1, n_warehouses + 1):
+        _load_warehouse(database, w_id, scale,
+                        random.Random(f"tpcc-load/{seed}/{w_id}"))
+
+
+def _load_warehouse(database: ReactorDatabase, w_id: int,
+                    scale: TpccScale, rng: random.Random) -> None:
+    name = warehouse_name(w_id)
+    database.load(name, "warehouse", [{
+        "w_id": w_id, "w_name": f"W{w_id}",
+        "w_tax": rng.uniform(0.0, 0.2), "w_ytd": 300_000.0,
+        "w_h_count": 0,
+    }])
+    database.load(name, "item", (
+        {"i_id": i, "i_name": f"item-{i}",
+         "i_price": rng.uniform(1.0, 100.0),
+         "i_data": f"data-{i}"}
+        for i in range(1, scale.items + 1)
+    ))
+    database.load(name, "stock", (
+        {"s_i_id": i, "s_quantity": rng.randint(10, 100),
+         "s_ytd": 0.0, "s_order_cnt": 0, "s_remote_cnt": 0,
+         "s_data": f"stock-{i}", "s_dist_info": f"dist-{i % 10}"}
+        for i in range(1, scale.items + 1)
+    ))
+    for d_id in range(1, scale.districts + 1):
+        _load_district(database, name, d_id, scale, rng)
+
+
+def _load_district(database: ReactorDatabase, name: str, d_id: int,
+                   scale: TpccScale, rng: random.Random) -> None:
+    n_orders = scale.orders_per_district
+    database.load(name, "district", [{
+        "d_id": d_id, "d_name": f"D{d_id}",
+        "d_tax": rng.uniform(0.0, 0.2), "d_ytd": 30_000.0,
+        "d_next_o_id": n_orders + 1,
+    }])
+    database.load(name, "customer", (
+        {
+            "c_d_id": d_id, "c_id": c_id,
+            "c_first": f"first-{c_id:05d}",
+            "c_last": last_name((c_id - 1) % scale.last_names),
+            "c_credit": "BC" if rng.random() < 0.10 else "GC",
+            "c_discount": rng.uniform(0.0, 0.5),
+            "c_balance": -10.0, "c_ytd_payment": 10.0,
+            "c_payment_cnt": 1, "c_delivery_cnt": 0,
+            "c_data": "initial",
+        }
+        for c_id in range(1, scale.customers_per_district + 1)
+    ))
+    # Initial orders: a random permutation of customers, the most
+    # recent `undelivered_fraction` still awaiting delivery.
+    customer_ids = list(range(1, scale.customers_per_district + 1))
+    rng.shuffle(customer_ids)
+    first_undelivered = int(n_orders * (1.0 - scale.undelivered_fraction)) \
+        + 1
+    orders = []
+    order_lines = []
+    new_orders = []
+    for o_id in range(1, n_orders + 1):
+        c_id = customer_ids[(o_id - 1) % len(customer_ids)]
+        ol_cnt = rng.randint(5, 15)
+        delivered = o_id < first_undelivered
+        orders.append({
+            "o_d_id": d_id, "o_id": o_id, "o_c_id": c_id,
+            "o_carrier_id": rng.randint(1, 10) if delivered else None,
+            "o_ol_cnt": ol_cnt, "o_all_local": 1, "o_entry_d": 0.0,
+        })
+        for number in range(ol_cnt):
+            order_lines.append({
+                "ol_d_id": d_id, "ol_o_id": o_id, "ol_number": number,
+                "ol_i_id": rng.randint(1, scale.items),
+                "ol_supply_w_id": int(name[2:]),
+                "ol_delivery_d": 0.0 if delivered else None,
+                "ol_quantity": 5,
+                "ol_amount": 0.0 if delivered
+                else rng.uniform(0.01, 9_999.99),
+                "ol_dist_info": f"dist-{d_id}",
+            })
+        if not delivered:
+            new_orders.append({"no_d_id": d_id, "no_o_id": o_id})
+    database.load(name, "orders", orders)
+    database.load(name, "order_line", order_lines)
+    database.load(name, "new_order", new_orders)

@@ -1,0 +1,178 @@
+"""TPC-C input generation and transaction mix.
+
+Implements the spec's input distributions (NURand, the standard 45/43/
+4/4/4 mix) with the paper's experimental knobs:
+
+* ``remote_item_prob`` — probability that each new-order item is
+  supplied by a remote warehouse (spec: 1%; swept in Appendix E and
+  forced to "all items remote" in Section 4.3.2);
+* ``remote_payment_prob`` — probability of a remote customer in
+  payment (spec: 15%);
+* ``delay_range`` — the new-order-delay stock replenishment
+  computation (Section 4.3.2);
+* ``sync_remote`` — shared-nothing-*sync* program formulation;
+* client affinity: worker *i* generates load for warehouse
+  ``i mod W + 1`` only (Section 4.1.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.bench.worker import TxnFactory, TxnSpec, Worker
+from repro.workloads.tpcc.procedures import warehouse_name
+from repro.workloads.tpcc.schema import TpccScale
+
+#: The standard TPC-C transaction mix.
+STANDARD_MIX: tuple[tuple[str, float], ...] = (
+    ("new_order", 0.45),
+    ("payment", 0.43),
+    ("order_status", 0.04),
+    ("delivery", 0.04),
+    ("stock_level", 0.04),
+)
+
+NEW_ORDER_ONLY: tuple[tuple[str, float], ...] = (("new_order", 1.0),)
+
+
+def nurand(rng: random.Random, a: int, x: int, y: int, c: int) -> int:
+    """The spec's non-uniform random distribution NURand(A, x, y)."""
+    return (((rng.randint(0, a) | rng.randint(x, y)) + c)
+            % (y - x + 1)) + x
+
+
+@dataclass
+class TpccWorkload:
+    """Input generator bound to one database scale and knob set."""
+
+    n_warehouses: int
+    scale: TpccScale = field(default_factory=TpccScale)
+    mix: tuple[tuple[str, float], ...] = STANDARD_MIX
+    remote_item_prob: float = 0.01
+    remote_payment_prob: float = 0.15
+    invalid_item_prob: float = 0.01
+    delay_range: tuple[float, float] | None = None
+    sync_remote: bool = False
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        rng = random.Random(f"tpcc-c/{self.seed}")
+        # Per-run NURand C constants, as the spec requires.
+        self._c_last = rng.randint(0, 255)
+        self._c_cust = rng.randint(0, 1023)
+        self._c_item = rng.randint(0, 8191)
+
+    # ------------------------------------------------------------------
+    # Spec input distributions at the configured scale
+    # ------------------------------------------------------------------
+
+    def _customer_id(self, rng: random.Random) -> int:
+        value = nurand(rng, 1023, 1, 3000, self._c_cust)
+        return (value - 1) % self.scale.customers_per_district + 1
+
+    def _item_id(self, rng: random.Random) -> int:
+        value = nurand(rng, 8191, 1, 100_000, self._c_item)
+        return (value - 1) % self.scale.items + 1
+
+    def _last_name(self, rng: random.Random) -> str:
+        from repro.workloads.tpcc.loader import last_name
+
+        value = nurand(rng, 255, 0, 999, self._c_last)
+        return last_name(value % self.scale.last_names)
+
+    def _district(self, rng: random.Random) -> int:
+        return rng.randint(1, self.scale.districts)
+
+    def _other_warehouse(self, rng: random.Random, w_id: int) -> int:
+        if self.n_warehouses == 1:
+            return w_id
+        other = rng.randint(1, self.n_warehouses - 1)
+        return other if other < w_id else other + 1
+
+    # ------------------------------------------------------------------
+    # Transaction input builders
+    # ------------------------------------------------------------------
+
+    def new_order_spec(self, rng: random.Random, w_id: int) -> TxnSpec:
+        home = warehouse_name(w_id)
+        d_id = self._district(rng)
+        c_id = self._customer_id(rng)
+        n_items = rng.randint(5, 15)
+        invalid = rng.random() < self.invalid_item_prob
+        items = []
+        for position in range(n_items):
+            if invalid and position == n_items - 1:
+                i_id = self.scale.items + 10_000  # unused item: abort
+            else:
+                i_id = self._item_id(rng)
+            if rng.random() < self.remote_item_prob:
+                supply = warehouse_name(self._other_warehouse(rng, w_id))
+            else:
+                supply = home
+            items.append((supply, i_id, rng.randint(1, 10)))
+        return (home, "new_order",
+                (w_id, d_id, c_id, items, self.sync_remote,
+                 self.delay_range))
+
+    def payment_spec(self, rng: random.Random, w_id: int) -> TxnSpec:
+        home = warehouse_name(w_id)
+        d_id = self._district(rng)
+        amount = rng.uniform(1.0, 5000.0)
+        if rng.random() < self.remote_payment_prob:
+            c_w = warehouse_name(self._other_warehouse(rng, w_id))
+        else:
+            c_w = home
+        c_d_id = self._district(rng)
+        if rng.random() < 0.60:
+            c_id, c_last = None, self._last_name(rng)
+        else:
+            c_id, c_last = self._customer_id(rng), None
+        return (home, "payment",
+                (w_id, d_id, amount, c_w, c_d_id, c_id, c_last))
+
+    def order_status_spec(self, rng: random.Random, w_id: int) -> TxnSpec:
+        d_id = self._district(rng)
+        if rng.random() < 0.60:
+            c_id, c_last = None, self._last_name(rng)
+        else:
+            c_id, c_last = self._customer_id(rng), None
+        return (warehouse_name(w_id), "order_status",
+                (d_id, c_id, c_last))
+
+    def delivery_spec(self, rng: random.Random, w_id: int) -> TxnSpec:
+        return (warehouse_name(w_id), "delivery",
+                (w_id, rng.randint(1, 10)))
+
+    def stock_level_spec(self, rng: random.Random, w_id: int) -> TxnSpec:
+        return (warehouse_name(w_id), "stock_level",
+                (self._district(rng), rng.randint(10, 20)))
+
+    # ------------------------------------------------------------------
+    # Worker factories
+    # ------------------------------------------------------------------
+
+    def home_warehouse(self, worker_id: int) -> int:
+        """Client affinity: each worker drives one warehouse."""
+        return worker_id % self.n_warehouses + 1
+
+    def factory_for(self, worker_id: int) -> TxnFactory:
+        w_id = self.home_warehouse(worker_id)
+        builders = {
+            "new_order": self.new_order_spec,
+            "payment": self.payment_spec,
+            "order_status": self.order_status_spec,
+            "delivery": self.delivery_spec,
+            "stock_level": self.stock_level_spec,
+        }
+
+        def factory(worker: Worker) -> TxnSpec:
+            pick = worker.rng.random()
+            cumulative = 0.0
+            for txn_name, weight in self.mix:
+                cumulative += weight
+                if pick < cumulative:
+                    return builders[txn_name](worker.rng, w_id)
+            return builders[self.mix[-1][0]](worker.rng, w_id)
+
+        return factory

@@ -1,0 +1,180 @@
+"""Static safety checker tests: call-site extraction, cycle and
+fan-out detection, and behavior on the real paper workloads."""
+
+from repro.analysis import analyze, extract_call_sites
+from repro.analysis.static_safety import SELF_TARGET, UNKNOWN_TARGET
+from repro.core.reactor import ReactorType
+from repro.relational import int_col, make_schema
+
+
+def make_type(name="T"):
+    return ReactorType(name, lambda: [
+        make_schema("kv", [int_col("k"), int_col("v")], ["k"]),
+    ])
+
+
+class TestExtraction:
+    def test_literal_target_and_proc(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(ctx):
+            fut = yield ctx.call("other", "do_thing", 1)
+            yield ctx.get(fut)
+
+        sites = extract_call_sites(rtype)
+        assert len(sites) == 1
+        assert sites[0].target == "other"
+        assert sites[0].callee_proc == "do_thing"
+        assert not sites[0].in_loop
+
+    def test_self_call_recognized(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(ctx):
+            yield ctx.call(ctx.my_name(), "do_thing")
+
+        sites = extract_call_sites(rtype)
+        assert sites[0].target == SELF_TARGET
+
+    def test_dynamic_target_is_unknown(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(ctx, who):
+            yield ctx.call(who, "do_thing")
+
+        sites = extract_call_sites(rtype)
+        assert sites[0].target == UNKNOWN_TARGET
+
+    def test_loop_nesting_flagged(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(ctx, targets):
+            for target in targets:
+                yield ctx.call(target, "do_thing")
+
+        assert extract_call_sites(rtype)[0].in_loop
+
+    def test_respects_context_parameter_name(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(c, who):
+            yield c.call(who, "do_thing")
+
+        assert len(extract_call_sites(rtype)) == 1
+
+    def test_non_call_methods_ignored(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def caller(ctx):
+            ctx.lookup("kv", 1)
+            ctx.insert("kv", {"k": 2, "v": 2})
+
+        assert extract_call_sites(rtype) == []
+
+
+class TestDetection:
+    def test_mutual_recursion_reported_as_cycle(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def ping(ctx, other):
+            fut = yield ctx.call(other, "pong", ctx.my_name())
+            yield ctx.get(fut)
+
+        @rtype.procedure
+        def pong(ctx, origin):
+            fut = yield ctx.call(origin, "ping", ctx.my_name())
+            yield ctx.get(fut)
+
+        report = analyze([rtype])
+        assert report.cycles
+        assert set(report.cycles[0].procedures) >= {"ping", "pong"}
+
+    def test_self_recursion_via_my_name_is_not_a_cycle(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def again(ctx, n):
+            if n:
+                yield ctx.call(ctx.my_name(), "again", n - 1)
+
+        report = analyze([rtype])
+        assert not report.cycles
+
+    def test_loop_fanout_warned(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def fan(ctx, targets):
+            for target in targets:
+                yield ctx.call(target, "do_thing")
+
+        report = analyze([rtype])
+        assert report.fanout_races
+        assert report.fanout_races[0].procedures == ("fan",)
+
+    def test_two_distinct_literals_not_warned(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def two(ctx):
+            yield ctx.call("alpha", "do_thing")
+            yield ctx.call("beta", "do_thing")
+
+        report = analyze([rtype])
+        assert not report.fanout_races
+
+    def test_two_unknown_targets_warned(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def two(ctx, a, b):
+            yield ctx.call(a, "do_thing")
+            yield ctx.call(b, "do_thing")
+
+        report = analyze([rtype])
+        assert report.fanout_races
+
+    def test_clean_type_passes(self):
+        rtype = make_type()
+
+        @rtype.procedure
+        def local_only(ctx):
+            ctx.insert("kv", {"k": 1, "v": 1})
+
+        assert analyze([rtype]).ok()
+
+
+class TestOnPaperWorkloads:
+    def test_smallbank_fanouts_flagged_cycles_absent(self):
+        from repro.workloads.smallbank import CUSTOMER
+
+        report = analyze([CUSTOMER])
+        flagged = {w.procedures[0] for w in report.fanout_races}
+        # The multi-transfer loops fan out over runtime-chosen
+        # destinations: exactly the shape the checker must flag (the
+        # workload guarantees deduplicated destinations at runtime).
+        assert "multi_transfer_fully_async" in flagged
+        assert "multi_transfer_opt" in flagged
+
+    def test_tpcc_batching_keeps_warnings_meaningful(self):
+        from repro.workloads.tpcc import WAREHOUSE
+
+        report = analyze([WAREHOUSE])
+        flagged = {w.procedures[0] for w in report.fanout_races}
+        # new_order fans out per-warehouse batches in a loop over a
+        # runtime dict: flagged, and indeed only safe because batches
+        # are grouped per target warehouse.
+        assert "new_order" in flagged
+
+    def test_exchange_has_no_cycles(self):
+        from repro.workloads.exchange import EXCHANGE, PROVIDER
+
+        report = analyze([EXCHANGE, PROVIDER])
+        assert not report.cycles

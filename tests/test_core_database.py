@@ -1,0 +1,171 @@
+"""ReactorDatabase behavior across deployments."""
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    ContainerSpec,
+    DeploymentConfig,
+    RangePlacement,
+    shared_nothing,
+)
+from repro.errors import (
+    DeploymentError,
+    TransactionAbort,
+    UnknownReactorError,
+)
+from repro.sim.machine import XEON_E3_1276
+from tests.conftest import ACCOUNT, account_name, make_bank
+
+
+class TestBasics:
+    def test_run_returns_procedure_result(self, bank_any):
+        assert bank_any.run("acct0", "get_balance") == 100.0
+
+    def test_transfer_moves_money(self, bank_any):
+        result = bank_any.run("acct0", "transfer", "acct5", 30.0)
+        assert result == 130.0
+        assert bank_any.run("acct0", "get_balance") == 70.0
+        assert bank_any.run("acct5", "get_balance") == 130.0
+
+    def test_fan_out(self, bank_any):
+        bank_any.run("acct0", "fan_out", ["acct1", "acct2", "acct4"],
+                     10.0)
+        assert bank_any.run("acct0", "get_balance") == 70.0
+        for name in ("acct1", "acct2", "acct4"):
+            assert bank_any.run(name, "get_balance") == 110.0
+
+    def test_user_abort_rolls_back(self, bank_any):
+        with pytest.raises(TransactionAbort):
+            bank_any.run("acct0", "credit", -1000.0)
+        assert bank_any.run("acct0", "get_balance") == 100.0
+
+    def test_abort_in_subtxn_rolls_back_everything(self, bank_any):
+        # The credit succeeds on the destination, then the source debit
+        # aborts: nothing may remain applied.
+        with pytest.raises(TransactionAbort):
+            bank_any.run("acct0", "transfer", "acct5", 150.0)
+        assert bank_any.run("acct0", "get_balance") == 100.0
+        assert bank_any.run("acct5", "get_balance") == 100.0
+
+    def test_dangerous_structure_aborts_when_async(self, bank_sn):
+        # Under shared-nothing the two calls to one reactor are
+        # dispatched asynchronously and overlap: the dynamic safety
+        # condition must abort the transaction.
+        with pytest.raises(TransactionAbort):
+            bank_sn.run("acct0", "double_call_same", "acct5")
+        assert bank_sn.run("acct5", "get_balance") == 100.0
+
+    def test_same_program_is_safe_when_inlined(self, bank_se_affinity):
+        # Under shared-everything both calls execute inline and
+        # sequentially — the first sub-transaction completes before
+        # the second is invoked, so the (dynamic) condition passes.
+        bank_se_affinity.run("acct0", "double_call_same", "acct5")
+        assert bank_se_affinity.run("acct5", "get_balance") == 103.0
+
+    def test_unknown_reactor(self, bank_any):
+        with pytest.raises(UnknownReactorError):
+            bank_any.run("nope", "get_balance")
+
+    def test_unknown_procedure(self, bank_any):
+        from repro.errors import UnknownProcedureError
+        with pytest.raises(UnknownProcedureError):
+            bank_any.run("acct0", "no_such_proc")
+
+    def test_reactor_registry(self, bank_any):
+        assert "acct0" in bank_any
+        assert "ghost" not in bank_any
+        assert len(bank_any.reactor_names()) == 6
+
+
+class TestVirtualization:
+    """The same application must behave identically under any
+    deployment (the paper's central virtualization claim)."""
+
+    def test_results_identical_across_deployments(self):
+        outcomes = []
+        for fixture in ("sn", "se"):
+            from repro.core.deployment import (
+                shared_everything_with_affinity,
+            )
+            deployment = shared_nothing(3) if fixture == "sn" else \
+                shared_everything_with_affinity(3)
+            database = make_bank(deployment)
+            database.run("acct0", "transfer", "acct5", 10.0)
+            database.run("acct5", "fan_out", ["acct1", "acct2"], 5.0)
+            state = {
+                name: database.run(name, "get_balance")
+                for name in database.reactor_names()
+            }
+            outcomes.append(state)
+        assert outcomes[0] == outcomes[1]
+
+    def test_shared_nothing_pins_reactors(self, bank_sn):
+        for name in bank_sn.reactor_names():
+            reactor = bank_sn.reactor(name)
+            assert reactor.pinned_executor is not None
+            assert reactor.pinned_executor in \
+                reactor.container.executors
+
+    def test_shared_everything_does_not_pin(self, bank_se_affinity):
+        for name in bank_se_affinity.reactor_names():
+            assert bank_se_affinity.reactor(name).pinned_executor \
+                is None
+
+    def test_latency_reflects_deployment(self):
+        # Cross-reactor transfers cost communication under
+        # shared-nothing but not under shared-everything.
+        times = {}
+        for label, deployment in (
+                ("sn", shared_nothing(3)),
+                ("se", __import__(
+                    "repro.core.deployment", fromlist=["x"]
+                ).shared_everything_with_affinity(3))):
+            database = make_bank(deployment)
+            start = database.scheduler.now
+            database.run("acct0", "transfer", "acct5", 1.0)
+            times[label] = database.scheduler.now - start
+        assert times["sn"] > times["se"]
+
+
+class TestDeploymentValidation:
+    def test_too_many_executors_for_machine(self):
+        deployment = shared_nothing(XEON_E3_1276.hardware_threads + 1)
+        with pytest.raises(DeploymentError):
+            ReactorDatabase(deployment, [("a", ACCOUNT)])
+
+    def test_duplicate_reactor_names(self):
+        with pytest.raises(DeploymentError):
+            ReactorDatabase(shared_nothing(2),
+                            [("a", ACCOUNT), ("a", ACCOUNT)])
+
+    def test_placement_out_of_range(self):
+        class BadPlacement(RangePlacement):
+            def container_for(self, name, index, n_containers):
+                return 99
+
+        deployment = DeploymentConfig(
+            name="bad", containers=[ContainerSpec()],
+            placement=BadPlacement(1))
+        with pytest.raises(DeploymentError):
+            ReactorDatabase(deployment, [("a", ACCOUNT)])
+
+    def test_range_placement_lays_out_blocks(self):
+        deployment = shared_nothing(3, placement=RangePlacement(2))
+        database = make_bank(deployment)
+        for i in range(6):
+            reactor = database.reactor(account_name(i))
+            assert reactor.container.container_id == i // 2
+
+
+class TestObservability:
+    def test_utilization_snapshot(self, bank_sn):
+        bank_sn.run("acct0", "busy_work", 500.0)
+        busy = bank_sn.utilization_snapshot()
+        assert sum(busy.values()) >= 500.0
+
+    def test_abort_counts(self, bank_sn):
+        bank_sn.run("acct0", "transfer", "acct5", 1.0)
+        counts = bank_sn.abort_counts()
+        assert counts["validations"] >= 1
+        assert counts["validation_failures"] == 0

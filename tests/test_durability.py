@@ -1,0 +1,198 @@
+"""Durability tests: logging, checkpoints, recovery equivalence."""
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    shared_everything_with_affinity,
+    shared_nothing,
+)
+from repro.durability import (
+    Checkpoint,
+    RedoLog,
+    enable_durability,
+    recover,
+    take_checkpoint,
+)
+from repro.errors import SimulationError, TransactionAbort
+from repro.workloads import smallbank as sb
+
+N = 8
+
+
+def fresh_bank(deployment=None):
+    database = ReactorDatabase(deployment or shared_nothing(4),
+                               sb.declarations(N))
+    sb.load(database, N)
+    return database
+
+
+def state_of(database):
+    return {
+        (name, table): database.table_rows(name, table)
+        for name in database.reactor_names()
+        for table in ("savings", "checking")
+    }
+
+
+def run_some_transfers(database, count=20, seed=5):
+    import random
+
+    rng = random.Random(seed)
+    for i in range(count):
+        variant = sb.VARIANTS[i % len(sb.VARIANTS)]
+        src = sb.reactor_name(rng.randrange(N))
+        dst = sb.reactor_name((int(src[4:]) + 1 + rng.randrange(N - 1))
+                              % N)
+        reactor, proc, args = sb.multi_transfer_spec(
+            variant, src, [dst], 2.0)
+        try:
+            database.run(reactor, proc, *args)
+        except TransactionAbort:
+            pass
+
+
+class TestLogging:
+    def test_committed_writes_logged(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        database.run(sb.reactor_name(0), "deposit_checking", 10.0)
+        records = list(manager.log_records())
+        assert records
+        entries = [e for r in records for e in r.entries]
+        assert any(e.table == "checking" and e.kind == "update"
+                   for e in entries)
+
+    def test_aborted_writes_not_logged(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        with pytest.raises(TransactionAbort):
+            database.run(sb.reactor_name(0), "transact_saving",
+                         -1e12)
+        assert list(manager.log_records()) == []
+
+    def test_multi_container_txn_logs_in_both_containers(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        database.run(sb.reactor_name(0), "transfer",
+                     sb.reactor_name(0), sb.reactor_name(5), 5.0)
+        containers = {log.container_id: len(log)
+                      for log in manager.logs.values() if len(log)}
+        assert len(containers) == 2
+        # Same commit TID on both participants.
+        tids = {r.commit_tid for r in manager.log_records()}
+        assert len(tids) == 1
+
+    def test_log_json_round_trip(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        run_some_transfers(database, count=10)
+        for log in manager.logs.values():
+            text = log.dump_json_lines()
+            restored = RedoLog.load_json_lines(log.container_id, text)
+            assert restored.records == log.records
+
+
+class TestCheckpoints:
+    def test_checkpoint_requires_quiescence(self):
+        database = fresh_bank()
+        database.submit(sb.reactor_name(0), "deposit_checking", 1.0)
+        with pytest.raises(SimulationError):
+            take_checkpoint(database)
+
+    def test_checkpoint_json_round_trip(self):
+        database = fresh_bank()
+        run_some_transfers(database, count=5)
+        checkpoint = take_checkpoint(database)
+        restored = Checkpoint.from_json(checkpoint.to_json())
+        assert restored.reactors == checkpoint.reactors
+        assert restored.tid_watermarks == checkpoint.tid_watermarks
+
+    def test_truncation_drops_covered_prefix(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        run_some_transfers(database, count=10)
+        before = sum(len(log) for log in manager.logs.values())
+        assert before > 0
+        manager.checkpoint_and_truncate()
+        after = sum(len(log) for log in manager.logs.values())
+        assert after == 0
+
+
+class TestRecovery:
+    def test_recovery_from_empty_checkpoint_plus_full_log(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        empty_checkpoint = take_checkpoint(fresh_bank())
+        run_some_transfers(database, count=15)
+        recovered = recover(shared_nothing(4), sb.declarations(N),
+                            empty_checkpoint, manager.logs.values())
+        assert state_of(recovered) == state_of(database)
+
+    def test_recovery_from_checkpoint_plus_tail(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        run_some_transfers(database, count=8, seed=1)
+        checkpoint = manager.checkpoint_and_truncate()
+        run_some_transfers(database, count=8, seed=2)
+        recovered = recover(shared_nothing(4), sb.declarations(N),
+                            checkpoint, manager.logs.values())
+        assert state_of(recovered) == state_of(database)
+
+    def test_recovery_onto_different_architecture(self):
+        """Recovery targets any deployment: logical state survives
+        physical re-architecture."""
+        database = fresh_bank()
+        manager = enable_durability(database)
+        run_some_transfers(database, count=10)
+        checkpoint = take_checkpoint(fresh_bank())
+        recovered = recover(shared_everything_with_affinity(4),
+                            sb.declarations(N), checkpoint,
+                            manager.logs.values())
+        assert state_of(recovered) == state_of(database)
+        # The recovered database keeps working.
+        recovered.run(sb.reactor_name(0), "deposit_checking", 1.0)
+
+    def test_post_recovery_commits_get_fresh_tids(self):
+        database = fresh_bank()
+        manager = enable_durability(database)
+        run_some_transfers(database, count=5)
+        max_logged = max(r.commit_tid
+                         for r in manager.log_records())
+        checkpoint = take_checkpoint(fresh_bank())
+        recovered = recover(shared_nothing(4), sb.declarations(N),
+                            checkpoint, manager.logs.values())
+        outcome = {}
+        recovered.submit(
+            sb.reactor_name(0), "deposit_checking", 1.0,
+            on_done=lambda root, ok, reason, res:
+            outcome.update(tid=root.commit_tid))
+        recovered.scheduler.run()
+        assert outcome["tid"] > max_logged
+
+    def test_deletes_replayed(self):
+        from repro.core.reactor import ReactorType
+        from repro.relational import int_col, make_schema
+
+        KV = ReactorType("DurKv", lambda: [
+            make_schema("kv", [int_col("k"), int_col("v")], ["k"]),
+        ])
+
+        @KV.procedure
+        def put(ctx, k, v):
+            ctx.insert("kv", {"k": k, "v": v})
+
+        @KV.procedure
+        def drop(ctx, k):
+            ctx.delete("kv", k)
+
+        database = ReactorDatabase(shared_nothing(1), [("r", KV)])
+        manager = enable_durability(database)
+        database.run("r", "put", 1, 10)
+        database.run("r", "put", 2, 20)
+        database.run("r", "drop", 1)
+        checkpoint = Checkpoint(reactors={"r": {"kv": []}},
+                                tid_watermarks={})
+        recovered = recover(shared_nothing(1), [("r", KV)],
+                            checkpoint, manager.logs.values())
+        assert recovered.table_rows("r", "kv") == [{"k": 2, "v": 20}]

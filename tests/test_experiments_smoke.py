@@ -1,0 +1,72 @@
+"""Micro-scale smoke tests for experiment modules.
+
+The benchmark suite runs every experiment at measurement scale; these
+tests run each ``run()`` at the smallest possible parameters so
+regressions in the experiment code itself (not the engine) surface in
+the fast test suite.
+"""
+
+from repro.experiments import (
+    appf2,
+    appf3,
+    fig05,
+    fig07_08,
+    fig11,
+    fig12,
+    fig15_16,
+    fig19,
+)
+
+
+def test_fig05_micro():
+    results = fig05.run(sizes=(1, 2), variants=("fully-sync", "opt"),
+                        n_txns=8, customers_per_container=20)
+    assert set(results) == {"fully-sync", "opt"}
+    assert results["fully-sync"][2] > results["fully-sync"][1]
+
+
+def test_fig07_08_micro():
+    points = fig07_08.run(scale_factor=2, worker_counts=(1,),
+                          measure_us=6_000.0, n_epochs=2)
+    assert len(points) == 3
+    assert all(p.throughput_ktps > 0 for p in points)
+
+
+def test_fig11_micro():
+    results = fig11.run(sizes=(2,), n_txns=8,
+                        customers_per_container=20)
+    assert results["fully-sync-remote"][2] > \
+        results["fully-sync-local"][2]
+
+
+def test_fig12_micro():
+    results = fig12.run(executor_counts=(1, 3), n_txns=8,
+                        customers_per_container=20)
+    assert results["round-robin remote"][3] > \
+        results["round-robin remote"][1]
+
+
+def test_fig15_16_micro():
+    points = fig15_16.run(scale_factor=2, cross_pcts=(0, 100),
+                          workers=2, measure_us=6_000.0, n_epochs=2)
+    assert {p.cross_pct for p in points} == {0, 100}
+
+
+def test_fig19_micro():
+    results = fig19.run(random_loads=(10,), n_txns=3,
+                        orders_per_provider=60, window=20)
+    assert set(results) == set(fig19.STRATEGIES)
+    assert all(v > 0 for series in results.values()
+               for v in series.values())
+
+
+def test_appf2_micro():
+    points = appf2.run(executor_counts=(1, 2), measure_us=6_000.0,
+                       n_epochs=2)
+    assert points[0].relative_pct == 100.0
+
+
+def test_appf3_micro():
+    points = appf3.run(scale_factors=(1,), measure_us=6_000.0,
+                       n_epochs=2)
+    assert points[0].overhead_us > 0

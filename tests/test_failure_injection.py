@@ -1,0 +1,217 @@
+"""Failure injection and hard runtime edge cases.
+
+Nested call chains, cyclic call structures, aborts racing in-flight
+sub-transactions, validation-abort storms, and error propagation
+through multiple levels of remote frames.
+"""
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    ExplicitPlacement,
+    shared_everything_with_affinity,
+    shared_nothing,
+)
+from repro.core.reactor import ReactorType
+from repro.errors import TransactionAbort
+from repro.relational import float_col, make_schema, str_col
+
+NODE = ReactorType("ChainNode", lambda: [
+    make_schema("state", [str_col("key"), float_col("value")],
+                ["key"]),
+])
+
+
+@NODE.procedure
+def get_value(ctx):
+    row = ctx.lookup("state", "v")
+    return row["value"]
+
+
+@NODE.procedure
+def set_value(ctx, value):
+    ctx.update("state", "v", {"value": value})
+    return value
+
+
+@NODE.procedure
+def chain(ctx, path, value):
+    """Nested remote chain: this node writes, then calls the next."""
+    ctx.update("state", "v", {"value": value})
+    if path:
+        fut = yield ctx.call(path[0], "chain", path[1:], value + 1.0)
+        return (yield ctx.get(fut))
+    return value
+
+
+@NODE.procedure
+def chain_then_fail(ctx, path):
+    """Walk the chain, then abort at the deepest node."""
+    ctx.update("state", "v", {"value": -1.0})
+    if path:
+        fut = yield ctx.call(path[0], "chain_then_fail", path[1:])
+        yield ctx.get(fut)
+        return None
+    ctx.abort("deepest node aborts")
+
+
+@NODE.procedure
+def call_back(ctx, origin):
+    """Complete the cycle: call back to the originating reactor."""
+    fut = yield ctx.call(origin, "set_value", 99.0)
+    yield ctx.get(fut)
+
+
+@NODE.procedure
+def cyclic(ctx, other):
+    """A -> B -> A: a cyclic execution structure across reactors."""
+    fut = yield ctx.call(other, "call_back", ctx.my_name())
+    yield ctx.get(fut)
+
+
+@NODE.procedure
+def abort_with_inflight(ctx, other):
+    """Dispatch an async sub-txn, then abort before consuming it."""
+    yield ctx.call(other, "set_value", 5.0)
+    ctx.abort("caller changed its mind")
+
+
+def make_chain_db(n=4, deployment=None):
+    names = [f"node{i}" for i in range(n)]
+    database = ReactorDatabase(
+        deployment or shared_nothing(min(n, 4)),
+        [(name, NODE) for name in names])
+    for name in names:
+        database.load(name, "state", [{"key": "v", "value": 0.0}])
+    return database, names
+
+
+class TestNestedChains:
+    def test_three_level_remote_chain(self):
+        db, names = make_chain_db(4)
+        result = db.run(names[0], "chain", names[1:], 1.0)
+        assert result == 4.0
+        for i, name in enumerate(names):
+            assert db.run(name, "get_value") == 1.0 + i
+
+    def test_chain_abort_at_depth_rolls_back_all_levels(self):
+        db, names = make_chain_db(4)
+        with pytest.raises(TransactionAbort):
+            db.run(names[0], "chain_then_fail", names[1:])
+        for name in names:
+            assert db.run(name, "get_value") == 0.0
+
+    def test_chain_under_shared_everything(self):
+        db, names = make_chain_db(
+            4, deployment=shared_everything_with_affinity(4))
+        result = db.run(names[0], "chain", names[1:], 1.0)
+        assert result == 4.0
+
+
+class TestCyclicStructures:
+    def test_cycle_back_to_root_reactor_aborts(self):
+        """A -> B -> A is a dangerous structure: the root transaction
+        (sub-transaction 0) is still active on A when B's call-back
+        arrives (Section 2.2.4 prohibits cyclic execution
+        structures)."""
+        db, names = make_chain_db(2)
+        with pytest.raises(TransactionAbort):
+            db.run(names[0], "cyclic", names[1])
+        assert db.run(names[0], "get_value") == 0.0
+        assert db.run(names[1], "get_value") == 0.0
+
+    def test_cycle_aborts_even_when_fully_inlined(self):
+        """Cyclic structures are dangerous under *any* deployment: the
+        root sub-transaction is still active on A when B's call-back
+        arrives, so the condition fires even with inline execution
+        ("prohibits programs with cyclic execution structures")."""
+        db, names = make_chain_db(
+            2, deployment=shared_everything_with_affinity(2))
+        with pytest.raises(TransactionAbort):
+            db.run(names[0], "cyclic", names[1])
+        assert db.run(names[0], "get_value") == 0.0
+
+
+class TestAbortWithInflightWork:
+    def test_user_abort_waits_for_inflight_subtxn(self):
+        db, names = make_chain_db(2)
+        with pytest.raises(TransactionAbort):
+            db.run(names[0], "abort_with_inflight", names[1])
+        # The in-flight write must not have been committed.
+        assert db.run(names[1], "get_value") == 0.0
+        # Simulation fully drained: no orphan events.
+        assert db.scheduler.pending() == 0
+
+
+class TestValidationStorm:
+    def test_hot_row_storm_preserves_correctness(self):
+        """Many concurrent increments of one record: the committed
+        count must equal the final value (lost updates impossible)."""
+        INC = ReactorType("Counter", lambda: [
+            make_schema("c", [str_col("k"), float_col("n")], ["k"]),
+        ])
+
+        @INC.procedure
+        def bump(ctx):
+            row = ctx.lookup("c", "k")
+            ctx.update("c", "k", {"n": row["n"] + 1})
+
+        # Two reactors on separate executors hammering one counter
+        # through remote sub-transactions.
+        @INC.procedure
+        def bump_remote(ctx, target):
+            fut = yield ctx.call(target, "bump")
+            yield ctx.get(fut)
+
+        database = ReactorDatabase(
+            shared_nothing(3, mpl=4),
+            [("counter", INC), ("client_a", INC), ("client_b", INC)])
+        database.load("counter", "c", [{"k": "k", "n": 0.0}])
+        database.load("client_a", "c", [{"k": "k", "n": 0.0}])
+        database.load("client_b", "c", [{"k": "k", "n": 0.0}])
+
+        outcomes = []
+        for i in range(30):
+            source = "client_a" if i % 2 == 0 else "client_b"
+            database.submit(source, "bump_remote", "counter",
+                            on_done=lambda root, ok, reason, res:
+                            outcomes.append(ok))
+        database.scheduler.run()
+
+        final = database.table_rows("counter", "c")[0]["n"]
+        assert final == sum(1 for ok in outcomes if ok)
+        assert any(not ok for ok in outcomes) or final == 30
+
+
+class TestCrossContainerDuplicates:
+    def test_concurrent_remote_inserts_one_wins(self):
+        KV = ReactorType("KvNode", lambda: [
+            make_schema("kv", [str_col("k"), float_col("v")], ["k"]),
+        ])
+
+        @KV.procedure
+        def put_new(ctx, key, value):
+            ctx.insert("kv", {"k": key, "v": value})
+
+        @KV.procedure
+        def put_remote(ctx, target, key, value):
+            fut = yield ctx.call(target, "put_new", key, value)
+            yield ctx.get(fut)
+
+        database = ReactorDatabase(
+            shared_nothing(3, mpl=4,
+                           placement=ExplicitPlacement(
+                               {"kv": 0, "a": 1, "b": 2})),
+            [("kv", KV), ("a", KV), ("b", KV)])
+        outcomes = []
+        database.submit("a", "put_remote", "kv", "x", 1.0,
+                        on_done=lambda r, ok, re, res:
+                        outcomes.append(ok))
+        database.submit("b", "put_remote", "kv", "x", 2.0,
+                        on_done=lambda r, ok, re, res:
+                        outcomes.append(ok))
+        database.scheduler.run()
+        rows = database.table_rows("kv", "kv")
+        assert len(rows) == 1
+        assert sum(outcomes) >= 1  # at least one succeeded

@@ -1,0 +1,123 @@
+"""Integration: serializability of concurrent executions.
+
+The strongest end-to-end correctness check available to the runtime:
+run a contended workload under each deployment, record which root
+transactions committed and in which commit-TID order, then replay
+exactly those transactions *serially* on a fresh database.  Conflict
+serializability requires the concurrent execution's final state to
+equal the state of some serial order — and Silo's OCC guarantees
+equivalence to the commit-TID order specifically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    shared_everything_with_affinity,
+    shared_everything_without_affinity,
+    shared_nothing,
+)
+from repro.workloads import smallbank as sb
+
+N = 8
+
+
+def _fresh(deployment_fn) -> ReactorDatabase:
+    database = ReactorDatabase(deployment_fn(), sb.declarations(N))
+    sb.load(database, N)
+    return database
+
+
+def _final_state(database: ReactorDatabase) -> dict:
+    return {
+        (name, table): tuple(
+            tuple(sorted(r.items()))
+            for r in database.table_rows(name, table))
+        for name in database.reactor_names()
+        for table in ("savings", "checking")
+    }
+
+
+def _contended_specs(n_txns: int = 60) -> list[tuple]:
+    """Transfers hammering a few hot accounts from many sources."""
+    import random
+
+    rng = random.Random(1234)
+    specs = []
+    for i in range(n_txns):
+        variant = sb.VARIANTS[i % len(sb.VARIANTS)]
+        src = sb.reactor_name(rng.randrange(N))
+        dsts = []
+        while len(dsts) < 2:
+            dst = sb.reactor_name(rng.randrange(N))
+            if dst != src and dst not in dsts:
+                dsts.append(dst)
+        specs.append(sb.multi_transfer_spec(variant, src, dsts, 1.0))
+    return specs
+
+
+DEPLOYMENTS = [
+    ("shared-nothing", lambda: shared_nothing(4, mpl=4)),
+    ("shared-everything-affinity",
+     lambda: shared_everything_with_affinity(4)),
+    ("shared-everything-rr",
+     lambda: shared_everything_without_affinity(4)),
+]
+
+
+@pytest.mark.parametrize("label,deployment_fn", DEPLOYMENTS)
+def test_concurrent_execution_equals_serial_replay(label,
+                                                   deployment_fn):
+    specs = _contended_specs()
+    database = _fresh(deployment_fn)
+
+    outcomes: list[dict] = []
+    for index, (reactor, proc, args) in enumerate(specs):
+        record: dict = {"index": index}
+        outcomes.append(record)
+
+        def on_done(root, committed, reason, result, record=record):
+            record["committed"] = committed
+            record["tid"] = root.commit_tid
+
+        database.submit(reactor, proc, *args, on_done=on_done)
+    database.scheduler.run()
+
+    committed = [r for r in outcomes if r.get("committed")]
+    assert committed, "some transactions must commit"
+    committed.sort(key=lambda r: r["tid"])
+
+    replay = _fresh(deployment_fn)
+    for record in committed:
+        reactor, proc, args = specs[record["index"]]
+        replay.run(reactor, proc, *args)
+
+    assert _final_state(database) == _final_state(replay), (
+        f"{label}: concurrent execution is not equivalent to its "
+        "commit-order serial execution"
+    )
+
+
+@pytest.mark.parametrize("label,deployment_fn", DEPLOYMENTS)
+def test_money_conserved_under_concurrency(label, deployment_fn):
+    database = _fresh(deployment_fn)
+    for reactor, proc, args in _contended_specs(40):
+        database.submit(reactor, proc, *args)
+    database.scheduler.run()
+    assert sb.total_money(database, N) == pytest.approx(
+        N * 2 * sb.INITIAL_BALANCE)
+
+
+def test_all_deployments_reach_identical_state_for_same_commits():
+    """If the same subset of transactions commits, final states agree
+    across architectures (run serially to force identical subsets)."""
+    specs = _contended_specs(20)
+    states = []
+    for __, deployment_fn in DEPLOYMENTS:
+        database = _fresh(deployment_fn)
+        for reactor, proc, args in specs:
+            database.run(reactor, proc, *args)
+        states.append(_final_state(database))
+    assert states[0] == states[1] == states[2]

@@ -1,0 +1,104 @@
+"""Property-based verification of Theorem 2.7 and model invariants.
+
+Random reactor-model histories are generated with hypothesis; for
+every one of them, serializability under the reactor model's
+sub-transaction conflict notion must coincide with classic
+serializability of the projected history — the equivalence the paper
+proves (Section 2.3, Appendix A).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.formal import (
+    commit,
+    abort,
+    history_of,
+    is_serializable_classic,
+    is_serializable_reactor,
+    project,
+    read,
+    write,
+)
+
+N_TXNS = 4
+N_REACTORS = 3
+ITEMS = ("x", "y")
+
+
+@st.composite
+def reactor_histories(draw):
+    """A random totally ordered reactor-model history.
+
+    Each transaction owns a handful of sub-transactions; each
+    sub-transaction is bound to one reactor; operations from all
+    transactions interleave arbitrarily; a suffix of commit/abort
+    events terminates every transaction.
+    """
+    n_txns = draw(st.integers(min_value=1, max_value=N_TXNS))
+    events = []
+    for txn in range(1, n_txns + 1):
+        n_subs = draw(st.integers(min_value=1, max_value=3))
+        for sub in range(1, n_subs + 1):
+            reactor = draw(st.integers(min_value=0,
+                                       max_value=N_REACTORS - 1))
+            n_ops = draw(st.integers(min_value=1, max_value=3))
+            for __ in range(n_ops):
+                item = draw(st.sampled_from(ITEMS))
+                if draw(st.booleans()):
+                    events.append(write(txn, sub, reactor, item))
+                else:
+                    events.append(read(txn, sub, reactor, item))
+    order = draw(st.permutations(events))
+    history = list(order)
+    for txn in range(1, n_txns + 1):
+        if draw(st.booleans()):
+            history.append(commit(txn))
+        else:
+            history.append(abort(txn))
+    return history_of(history)
+
+
+@settings(max_examples=200, deadline=None)
+@given(reactor_histories())
+def test_theorem_2_7(history):
+    """Reactor-model serializability iff classic serializability of
+    the projection (Theorem 2.7)."""
+    assert is_serializable_reactor(history) == \
+        is_serializable_classic(project(history))
+
+
+@settings(max_examples=100, deadline=None)
+@given(reactor_histories())
+def test_subtxn_edges_superset_relationship(history):
+    """Sub-transaction-level conflict edges and leaf-level edges agree
+    when projected to transactions (both order the same conflicting
+    basic-operation pairs)."""
+    assert history.subtxn_conflict_edges() == \
+        history.leaf_conflict_edges()
+
+
+@settings(max_examples=100, deadline=None)
+@given(reactor_histories())
+def test_aborted_transactions_never_appear_in_graph(history):
+    committed = history.committed_txns()
+    for src, dst in history.subtxn_conflict_edges():
+        assert src in committed
+        assert dst in committed
+
+
+@settings(max_examples=100, deadline=None)
+@given(reactor_histories())
+def test_projection_preserves_committed_set(history):
+    assert project(history).committed_txns() >= \
+        history.committed_txns()
+
+
+@settings(max_examples=50, deadline=None)
+@given(reactor_histories())
+def test_serial_prefix_of_single_txn_always_serializable(history):
+    """A history containing a single committed transaction is always
+    serializable, whatever the interleaving with aborted ones."""
+    committed = history.committed_txns()
+    if len(committed) <= 1:
+        assert is_serializable_reactor(history)

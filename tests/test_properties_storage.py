@@ -1,0 +1,197 @@
+"""Property-based tests on the storage substrate and OCC engine.
+
+Invariants checked on randomized inputs:
+
+* ordered-index range scans agree with a naive filter over the rows;
+* tables and their secondary indexes stay mutually consistent through
+  arbitrary insert/update/delete interleavings;
+* randomly interleaved OCC sessions either abort or produce a final
+  state equal to some serial execution (serializability), and
+  committed effects are exactly the write sets of committed sessions.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.concurrency.coordinator import TwoPhaseCommit
+from repro.concurrency.occ import ConcurrencyManager
+from repro.concurrency.tid import EpochManager
+from repro.relational.index import OrderedIndex, make_spec
+from repro.relational.schema import (
+    IndexSpec,
+    int_col,
+    make_schema,
+)
+from repro.relational.table import Table
+
+keys = st.tuples(st.integers(0, 5), st.integers(0, 5))
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(keys, max_size=40),
+       st.tuples(st.integers(0, 5)) | st.none(),
+       st.tuples(st.integers(0, 5)) | st.none())
+def test_ordered_index_range_matches_naive_filter(entries, low, high):
+    index = OrderedIndex(make_spec("i", ["a", "b"], ordered=True))
+    seen = set()
+    for key in entries:
+        if key not in seen:
+            seen.add(key)
+            index.insert(key, key)
+    got = list(index.range(low, high))
+    expected = sorted(
+        k for k in seen
+        if (low is None or k[: len(low)] >= low)
+        and (high is None or k[: len(high)] <= high))
+    assert got == expected
+
+
+def _indexed_table() -> Table:
+    schema = make_schema(
+        "t", [int_col("id"), int_col("grp"), int_col("v")], ["id"],
+        [IndexSpec("by_grp", ("grp",)),
+         IndexSpec("by_v", ("v",), ordered=True)])
+    return Table(schema)
+
+
+ops = st.lists(
+    st.tuples(st.sampled_from(["insert", "update", "delete"]),
+              st.integers(0, 9),   # id
+              st.integers(0, 3),   # grp
+              st.integers(0, 9)),  # v
+    max_size=60)
+
+
+@settings(max_examples=100, deadline=None)
+@given(ops)
+def test_table_and_indexes_stay_consistent(operations):
+    table = _indexed_table()
+    shadow: dict[tuple, dict] = {}
+    tid = 0
+    for op, id_, grp, v in operations:
+        tid += 1
+        pk = (id_,)
+        row = {"id": id_, "grp": grp, "v": v}
+        if op == "insert":
+            if pk in shadow:
+                continue
+            table.install_insert(row, tid)
+            shadow[pk] = row
+        elif op == "update":
+            record = table.get_record(pk)
+            if record is None:
+                continue
+            table.install_update(record, row, tid)
+            shadow[pk] = row
+        else:
+            record = table.get_record(pk)
+            if record is None:
+                continue
+            table.install_delete(record, tid)
+            del shadow[pk]
+
+    assert {r.key for r in table.iter_records()} == set(shadow)
+    by_grp = table.index("by_grp")
+    for grp in range(4):
+        expected = {pk for pk, row in shadow.items()
+                    if row["grp"] == grp}
+        assert by_grp.lookup((grp,)) == expected
+    by_v = table.index("by_v")
+    expected_order = sorted(shadow, key=lambda pk: (shadow[pk]["v"],
+                                                    pk))
+    assert list(by_v.range(None, None)) == expected_order
+
+
+# Random concurrent OCC schedules -------------------------------------
+
+txn_programs = st.lists(
+    st.lists(
+        st.tuples(st.sampled_from(["read", "write"]),
+                  st.integers(0, 4)),
+        min_size=1, max_size=4),
+    min_size=2, max_size=4)
+
+
+@settings(max_examples=80, deadline=None)
+@given(txn_programs, st.randoms(use_true_random=False))
+def test_occ_interleavings_are_serializable(programs, rng):
+    """Execute sessions with interleaved operations; committed result
+    must equal serial execution of the committed subset in commit
+    order. Writes are modeled as register assignments of the writing
+    transaction's label so final states identify writers."""
+    schema = make_schema("t", [int_col("id"), int_col("v")], ["id"])
+    table = Table(schema)
+    for i in range(5):
+        table.load_row({"id": i, "v": -1})
+    manager = ConcurrencyManager(0, EpochManager())
+
+    sessions = [manager.begin_session(i + 1)
+                for i in range(len(programs))]
+    # Build one global random interleaving of all ops.
+    schedule = [(t, op) for t, program in enumerate(programs)
+                for op in program]
+    rng.shuffle(schedule)
+    for t, (kind, key) in schedule:
+        session = sessions[t]
+        if session.finished:
+            continue
+        if kind == "read":
+            session.read(table, (key,))
+        else:
+            session.update(table, (key,), {"v": t})
+
+    committed: list[tuple[int, int]] = []  # (commit tid, txn index)
+    for t, session in enumerate(sessions):
+        if session.finished:
+            continue
+        outcome = TwoPhaseCommit([(manager, session)]).commit(
+            float(t + 1))
+        if outcome.committed:
+            committed.append((outcome.commit_tid, t))
+    committed.sort()
+
+    final = {r.key[0]: r.value["v"] for r in table.iter_records()}
+
+    # Serial replay of committed transactions in commit order.
+    replay_table = Table(schema)
+    for i in range(5):
+        replay_table.load_row({"id": i, "v": -1})
+    replay_manager = ConcurrencyManager(0, EpochManager())
+    for order, (__, t) in enumerate(committed):
+        session = replay_manager.begin_session(t + 1)
+        for kind, key in programs[t]:
+            if kind == "read":
+                session.read(replay_table, (key,))
+            else:
+                session.update(replay_table, (key,), {"v": t})
+        outcome = TwoPhaseCommit(
+            [(replay_manager, session)]).commit(float(order + 1))
+        assert outcome.committed  # serial execution cannot conflict
+
+    replay_final = {r.key[0]: r.value["v"]
+                    for r in replay_table.iter_records()}
+    assert final == replay_final
+
+
+@settings(max_examples=50, deadline=None)
+@given(txn_programs)
+def test_serial_occ_never_aborts(programs):
+    """Sessions executed and committed one after another always pass
+    validation (no false conflicts in the serial case)."""
+    schema = make_schema("t", [int_col("id"), int_col("v")], ["id"])
+    table = Table(schema)
+    for i in range(5):
+        table.load_row({"id": i, "v": 0})
+    manager = ConcurrencyManager(0, EpochManager())
+    for t, program in enumerate(programs):
+        session = manager.begin_session(t + 1)
+        for kind, key in program:
+            if kind == "read":
+                session.read(table, (key,))
+            else:
+                session.update(table, (key,), {"v": t})
+        outcome = TwoPhaseCommit([(manager, session)]).commit(
+            float(t + 1))
+        assert outcome.committed

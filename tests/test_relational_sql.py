@@ -1,0 +1,233 @@
+"""SQL dialect tests: tokenizer, parser, and end-to-end execution
+through a reactor context."""
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import shared_nothing
+from repro.core.reactor import ReactorType
+from repro.errors import SQLParseError
+from repro.relational import float_col, int_col, make_schema, str_col
+from repro.relational.sql import (
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UpdateStatement,
+    parse,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_numbers(self):
+        tokens = tokenize("42 -7 3.5 -2.25")
+        assert [t.value for t in tokens] == [42, -7, 3.5, -2.25]
+
+    def test_strings_with_escapes(self):
+        tokens = tokenize("'hello' 'it''s'")
+        assert [t.value for t in tokens] == ["hello", "it's"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM WhErE")
+        assert [t.value for t in tokens] == ["SELECT", "FROM", "WHERE"]
+
+    def test_names_preserve_case(self):
+        tokens = tokenize("myTable")
+        assert tokens[0].kind == "name"
+        assert tokens[0].value == "myTable"
+
+    def test_operators(self):
+        tokens = tokenize("= <> <= >= < > !=")
+        assert [t.value for t in tokens] == \
+            ["=", "<>", "<=", ">=", "<", ">", "!="]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            tokenize("SELECT @ FROM t")
+
+
+class TestParser:
+    def test_simple_select(self):
+        statement = parse("SELECT a, b FROM t")
+        assert isinstance(statement, SelectStatement)
+        assert statement.table == "t"
+        assert statement.columns == ["a", "b"]
+
+    def test_select_star(self):
+        assert parse("SELECT * FROM t").columns is None
+
+    def test_where_precedence_and_over_or(self):
+        statement = parse(
+            "SELECT * FROM t WHERE a = 1 OR b = 2 AND c = 3")
+        assert statement.where.matches({"a": 1, "b": 0, "c": 0})
+        assert statement.where.matches({"a": 0, "b": 2, "c": 3})
+        assert not statement.where.matches({"a": 0, "b": 2, "c": 0})
+
+    def test_parentheses(self):
+        statement = parse(
+            "SELECT * FROM t WHERE (a = 1 OR b = 2) AND c = 3")
+        assert not statement.where.matches({"a": 1, "b": 0, "c": 0})
+        assert statement.where.matches({"a": 1, "b": 0, "c": 3})
+
+    def test_not(self):
+        statement = parse("SELECT * FROM t WHERE NOT a = 1")
+        assert statement.where.matches({"a": 2})
+
+    def test_between_and_in(self):
+        statement = parse(
+            "SELECT * FROM t WHERE a BETWEEN 1 AND 5 AND b IN "
+            "('x', 'y')")
+        assert statement.where.matches({"a": 3, "b": "x"})
+        assert not statement.where.matches({"a": 6, "b": "x"})
+
+    def test_placeholders_bind_positionally(self):
+        statement = parse("SELECT * FROM t WHERE a = ? AND b > ?",
+                          params=(5, 2.5))
+        assert statement.where.matches({"a": 5, "b": 3.0})
+
+    def test_placeholder_count_mismatch(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t WHERE a = ?", params=())
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t WHERE a = ?", params=(1, 2))
+
+    def test_aggregates(self):
+        statement = parse(
+            "SELECT SUM(v) AS total, COUNT(*) AS n, "
+            "COUNT(DISTINCT g) AS k FROM t GROUP BY g")
+        assert set(statement.aggregates) == {"total", "n", "k"}
+        assert statement.group_by == ["g"]
+
+    def test_order_by_and_limit(self):
+        statement = parse(
+            "SELECT * FROM t ORDER BY a DESC, b LIMIT 3")
+        assert statement.order_by == [("a", True), ("b", False)]
+        assert statement.limit == 3
+
+    def test_insert(self):
+        statement = parse(
+            "INSERT INTO t (a, b) VALUES (1, 'x')")
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["a", "b"]
+        assert statement.values == [1, "x"]
+
+    def test_insert_arity_mismatch(self):
+        with pytest.raises(SQLParseError):
+            parse("INSERT INTO t (a, b) VALUES (1)")
+
+    def test_update(self):
+        statement = parse("UPDATE t SET a = 1, b = ? WHERE c = 2",
+                          params=("z",))
+        assert isinstance(statement, UpdateStatement)
+        assert statement.assignments == {"a": 1, "b": "z"}
+
+    def test_delete(self):
+        statement = parse("DELETE FROM t WHERE a <> 1")
+        assert isinstance(statement, DeleteStatement)
+        assert statement.where.matches({"a": 2})
+
+    def test_null_true_false_literals(self):
+        statement = parse("UPDATE t SET a = NULL, b = TRUE, c = FALSE")
+        assert statement.assignments == {"a": None, "b": True,
+                                         "c": False}
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT * FROM t banana")
+
+    def test_truncated_statement_rejected(self):
+        with pytest.raises(SQLParseError):
+            parse("SELECT a FROM")
+
+    def test_templates_cached_and_immutable(self):
+        from repro.relational.sql import parse_template
+
+        parse_template.cache_clear()
+        first = parse("SELECT * FROM t WHERE a = ?", params=(1,))
+        second = parse("SELECT * FROM t WHERE a = ?", params=(2,))
+        info = parse_template.cache_info()
+        assert info.misses == 1
+        assert info.hits == 1
+        # Each bind produced an independent statement.
+        assert first.where.matches({"a": 1})
+        assert second.where.matches({"a": 2})
+        assert not second.where.matches({"a": 1})
+
+
+ORDERS = ReactorType("SqlOrders", lambda: [
+    make_schema("orders", [
+        int_col("id"), str_col("provider"), float_col("value"),
+        str_col("settled"),
+    ], ["id"]),
+])
+
+
+@ORDERS.procedure
+def run_sql(ctx, text, *params):
+    return ctx.sql(text, *params)
+
+
+@pytest.fixture
+def sql_db():
+    database = ReactorDatabase(shared_nothing(1), [("r", ORDERS)])
+    database.load("r", "orders", [
+        {"id": 1, "provider": "visa", "value": 10.0, "settled": "N"},
+        {"id": 2, "provider": "visa", "value": 20.0, "settled": "Y"},
+        {"id": 3, "provider": "mc", "value": 5.0, "settled": "N"},
+        {"id": 4, "provider": "mc", "value": 7.5, "settled": "N"},
+    ])
+    return database
+
+
+class TestEndToEnd:
+    def test_select_where(self, sql_db):
+        rows = sql_db.run("r", "run_sql",
+                          "SELECT id FROM orders WHERE settled = 'N' "
+                          "ORDER BY id")
+        assert [r["id"] for r in rows] == [1, 3, 4]
+
+    def test_select_aggregate_group_by(self, sql_db):
+        rows = sql_db.run(
+            "r", "run_sql",
+            "SELECT SUM(value) AS exposure, COUNT(*) AS n FROM orders "
+            "WHERE settled = 'N' GROUP BY provider")
+        by_n = {r["provider"]: r["exposure"] for r in rows}
+        assert by_n == {"visa": 10.0, "mc": 12.5}
+
+    def test_insert_visible_transactionally(self, sql_db):
+        sql_db.run("r", "run_sql",
+                   "INSERT INTO orders (id, provider, value, settled)"
+                   " VALUES (9, 'amex', ?, 'N')", 33.0)
+        rows = sql_db.run("r", "run_sql",
+                          "SELECT value FROM orders WHERE id = 9")
+        assert rows == [{"value": 33.0}]
+
+    def test_update_where_count(self, sql_db):
+        count = sql_db.run("r", "run_sql",
+                           "UPDATE orders SET settled = 'Y' "
+                           "WHERE settled = 'N'")
+        assert count == 3
+        remaining = sql_db.run("r", "run_sql",
+                               "SELECT COUNT(*) AS n FROM orders "
+                               "WHERE settled = 'N'")
+        assert remaining[0]["n"] == 0
+
+    def test_delete_where_count(self, sql_db):
+        count = sql_db.run("r", "run_sql",
+                           "DELETE FROM orders WHERE provider = 'mc'")
+        assert count == 2
+        rows = sql_db.run("r", "run_sql",
+                          "SELECT COUNT(*) AS n FROM orders")
+        assert rows[0]["n"] == 2
+
+    def test_limit_and_order(self, sql_db):
+        rows = sql_db.run("r", "run_sql",
+                          "SELECT id FROM orders ORDER BY value DESC "
+                          "LIMIT 2")
+        assert [r["id"] for r in rows] == [2, 1]
+
+    def test_between(self, sql_db):
+        rows = sql_db.run("r", "run_sql",
+                          "SELECT id FROM orders WHERE value "
+                          "BETWEEN 6 AND 15 ORDER BY id")
+        assert [r["id"] for r in rows] == [1, 4]

@@ -1,0 +1,87 @@
+"""Determinism and reproducibility guarantees of the simulator.
+
+The entire reproduction hinges on the discrete-event substrate being
+deterministic: same seed, same inputs, byte-identical behavior.  These
+tests pin that property at increasing levels of the stack.
+"""
+
+from repro.bench.harness import run_measurement
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import shared_nothing
+from repro.experiments.common import tpcc_database
+from repro.sim.machine import OPTERON_6274
+from repro.workloads import tpcc
+from tests.conftest import make_bank
+
+
+def test_scheduler_interleavings_reproducible():
+    traces = []
+    for __ in range(2):
+        database = make_bank(shared_nothing(3, mpl=4))
+        trace = []
+        for i in range(10):
+            database.submit(
+                f"acct{i % 3}", "transfer", f"acct{(i + 3) % 6}", 1.0,
+                on_done=lambda root, ok, r, res, i=i: trace.append(
+                    (i, ok, round(database.scheduler.now, 6))))
+        database.scheduler.run()
+        traces.append(trace)
+    assert traces[0] == traces[1]
+
+
+def test_tpcc_measurement_fully_deterministic():
+    summaries = []
+    scale = tpcc.TpccScale(districts=2, customers_per_district=10,
+                           items=20, orders_per_district=5)
+    for __ in range(2):
+        database = tpcc_database("shared-nothing-async", 2,
+                                 scale=scale)
+        workload = tpcc.TpccWorkload(n_warehouses=2, scale=scale)
+        result = run_measurement(database, 3, workload.factory_for,
+                                 warmup_us=1_000.0,
+                                 measure_us=15_000.0, n_epochs=3)
+        summaries.append((
+            result.summary.committed,
+            result.summary.aborted,
+            round(result.summary.latency_us, 9),
+            round(result.summary.throughput_tps, 9),
+        ))
+    assert summaries[0] == summaries[1]
+
+
+def test_different_seed_changes_inputs_not_correctness():
+    from repro.workloads import smallbank as sb
+
+    totals = []
+    for seed in (1, 2):
+        database = ReactorDatabase(shared_nothing(3),
+                                   sb.declarations(6))
+        sb.load(database, 6)
+        workload = sb.SmallbankWorkload(
+            6, mix=("transfer", "balance"))
+        result = run_measurement(database, 2, workload.factory_for,
+                                 warmup_us=500.0, measure_us=8_000.0,
+                                 n_epochs=2, seed=seed)
+        assert result.summary.committed > 0
+        totals.append(sb.total_money(database, 6))
+    # Different input streams, same invariant.
+    assert totals[0] == totals[1] == 6 * 2 * sb.INITIAL_BALANCE
+
+
+def test_machine_profile_does_not_change_results_only_timing():
+    from repro.workloads import smallbank as sb
+
+    states = []
+    times = []
+    for machine in (None, OPTERON_6274):
+        kwargs = {"machine": machine} if machine else {}
+        database = ReactorDatabase(shared_nothing(3, **kwargs),
+                                   sb.declarations(6))
+        sb.load(database, 6)
+        database.run(sb.reactor_name(0), "transfer",
+                     sb.reactor_name(0), sb.reactor_name(4), 7.0)
+        states.append(database.table_rows(sb.reactor_name(4),
+                                          "savings"))
+        times.append(database.scheduler.now)
+    assert states[0] == states[1]
+    assert times[1] > times[0]  # the Opteron profile is slower

@@ -1,0 +1,138 @@
+"""Unit tests for the discrete-event scheduler and virtual clock."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.clock import VirtualClock
+from repro.sim.scheduler import SimScheduler
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_advance_is_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        with pytest.raises(SimulationError):
+            clock.advance_to(4.0)
+
+    def test_advance_to_same_time_is_fine(self):
+        clock = VirtualClock()
+        clock.advance_to(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_reset(self):
+        clock = VirtualClock()
+        clock.advance_to(10.0)
+        clock.reset()
+        assert clock.now == 0.0
+
+
+class TestSimScheduler:
+    def test_events_run_in_time_order(self):
+        scheduler = SimScheduler()
+        order = []
+        scheduler.after(3.0, order.append, "c")
+        scheduler.after(1.0, order.append, "a")
+        scheduler.after(2.0, order.append, "b")
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        scheduler = SimScheduler()
+        order = []
+        scheduler.after(1.0, order.append, 1)
+        scheduler.after(1.0, order.append, 2)
+        scheduler.after(1.0, order.append, 3)
+        scheduler.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_with_events(self):
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.after(2.5, lambda: seen.append(scheduler.now))
+        scheduler.run()
+        assert seen == [2.5]
+        assert scheduler.now == 2.5
+
+    def test_events_can_schedule_events(self):
+        scheduler = SimScheduler()
+        seen = []
+
+        def first():
+            scheduler.after(1.0, lambda: seen.append(scheduler.now))
+
+        scheduler.after(1.0, first)
+        scheduler.run()
+        assert seen == [2.0]
+
+    def test_cancelled_events_are_skipped(self):
+        scheduler = SimScheduler()
+        seen = []
+        event = scheduler.after(1.0, seen.append, "x")
+        event.cancel()
+        scheduler.run()
+        assert seen == []
+
+    def test_run_until_stops_early(self):
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.after(1.0, seen.append, "early")
+        scheduler.after(10.0, seen.append, "late")
+        scheduler.run(until=5.0)
+        assert seen == ["early"]
+        assert scheduler.now == 5.0
+        scheduler.run()
+        assert seen == ["early", "late"]
+
+    def test_cannot_schedule_in_the_past(self):
+        scheduler = SimScheduler()
+        scheduler.after(5.0, lambda: None)
+        scheduler.run()
+        with pytest.raises(SimulationError):
+            scheduler.at(1.0, lambda: None)
+
+    def test_negative_delay_rejected(self):
+        scheduler = SimScheduler()
+        with pytest.raises(SimulationError):
+            scheduler.after(-1.0, lambda: None)
+
+    def test_max_events_guards_livelock(self):
+        scheduler = SimScheduler()
+
+        def respawn():
+            scheduler.soon(respawn)
+
+        scheduler.soon(respawn)
+        with pytest.raises(SimulationError):
+            scheduler.run(max_events=100)
+
+    def test_soon_runs_at_current_time(self):
+        scheduler = SimScheduler()
+        times = []
+        scheduler.after(3.0, lambda: scheduler.soon(
+            lambda: times.append(scheduler.now)))
+        scheduler.run()
+        assert times == [3.0]
+
+    def test_pending_counts_live_events(self):
+        scheduler = SimScheduler()
+        event = scheduler.after(1.0, lambda: None)
+        scheduler.after(2.0, lambda: None)
+        assert scheduler.pending() == 2
+        event.cancel()
+        assert scheduler.pending() == 1
+
+    def test_dispatch_counter(self):
+        scheduler = SimScheduler()
+        for __ in range(5):
+            scheduler.soon(lambda: None)
+        scheduler.run()
+        assert scheduler.events_dispatched == 5

@@ -1,0 +1,79 @@
+"""TPC-C consistency conditions under concurrent execution.
+
+The strongest TPC-C-specific integration check: after running the
+standard mix concurrently under every architecture, all spec
+consistency conditions (C1-C5, see
+:mod:`repro.workloads.tpcc.consistency`) must hold — any
+serializability or atomicity bug in the engine breaks at least one.
+"""
+
+import pytest
+
+from repro.bench.harness import run_measurement
+from repro.experiments.common import tpcc_database
+from repro.workloads import tpcc
+from repro.workloads.tpcc.consistency import (
+    ConsistencyViolation,
+    check_database,
+)
+
+W = 2
+SCALE = tpcc.TpccScale(districts=3, customers_per_district=20,
+                       items=50, orders_per_district=10, last_names=5)
+
+
+def test_freshly_loaded_database_is_consistent():
+    database = tpcc_database("shared-nothing-async", W, scale=SCALE)
+    check_database(database, W)
+
+
+@pytest.mark.parametrize("strategy", [
+    "shared-nothing-async",
+    "shared-everything-with-affinity",
+    "shared-everything-without-affinity",
+])
+def test_concurrent_mix_preserves_consistency(strategy):
+    database = tpcc_database(strategy, W, scale=SCALE)
+    workload = tpcc.TpccWorkload(n_warehouses=W, scale=SCALE)
+    result = run_measurement(database, 4, workload.factory_for,
+                             warmup_us=2_000.0, measure_us=40_000.0,
+                             n_epochs=4)
+    assert result.summary.committed > 100
+    check_database(database, W)
+
+
+def test_sync_remote_formulation_preserves_consistency():
+    database = tpcc_database("shared-nothing-sync", W, scale=SCALE)
+    workload = tpcc.TpccWorkload(n_warehouses=W, scale=SCALE,
+                                 sync_remote=True,
+                                 remote_item_prob=0.5)
+    run_measurement(database, 4, workload.factory_for,
+                    warmup_us=2_000.0, measure_us=30_000.0,
+                    n_epochs=3)
+    check_database(database, W)
+
+
+def test_checker_catches_corruption():
+    database = tpcc_database("shared-nothing-async", W, scale=SCALE)
+    # Corrupt: bump a district counter without creating the order.
+    table = database.reactor(tpcc.warehouse_name(1)).table("district")
+    record = table.get_record((1,))
+    table.install_update(record,
+                         dict(record.value,
+                              d_next_o_id=record.value["d_next_o_id"]
+                              + 5),
+                         tid=999)
+    with pytest.raises(ConsistencyViolation):
+        check_database(database, W)
+
+
+def test_checker_catches_lost_order_line():
+    database = tpcc_database("shared-nothing-async", W, scale=SCALE)
+    name = tpcc.warehouse_name(1)
+    table = database.reactor(name).table("order_line")
+    line = database.table_rows(name, "order_line")[0]
+    record = table.get_record(
+        (line["ol_d_id"], line["ol_o_id"], line["ol_number"]))
+    table.install_delete(record, tid=999)
+    with pytest.raises(ConsistencyViolation):
+        check_database(database, W)

@@ -1,0 +1,127 @@
+"""Smallbank workload tests: semantics of every transaction and the
+money-conservation invariant across all multi-transfer formulations."""
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import RangePlacement, shared_nothing
+from repro.errors import TransactionAbort
+from repro.workloads import smallbank as sb
+
+N = 12
+
+
+@pytest.fixture
+def bank():
+    deployment = shared_nothing(3, placement=RangePlacement(4))
+    database = ReactorDatabase(deployment, sb.declarations(N))
+    sb.load(database, N)
+    return database
+
+
+class TestClassicTransactions:
+    def test_balance(self, bank):
+        assert bank.run(sb.reactor_name(0), "balance") == \
+            2 * sb.INITIAL_BALANCE
+
+    def test_deposit_checking(self, bank):
+        bank.run(sb.reactor_name(0), "deposit_checking", 50.0)
+        assert bank.run(sb.reactor_name(0), "balance") == \
+            2 * sb.INITIAL_BALANCE + 50.0
+
+    def test_negative_deposit_aborts(self, bank):
+        with pytest.raises(TransactionAbort):
+            bank.run(sb.reactor_name(0), "deposit_checking", -1.0)
+
+    def test_transact_saving_overdraft_aborts(self, bank):
+        with pytest.raises(TransactionAbort):
+            bank.run(sb.reactor_name(0), "transact_saving",
+                     -sb.INITIAL_BALANCE - 1.0)
+
+    def test_write_check_overdraft_penalty(self, bank):
+        name = sb.reactor_name(0)
+        bank.run(name, "write_check", 2 * sb.INITIAL_BALANCE + 10.0)
+        rows = bank.table_rows(name, "checking")
+        expected = sb.INITIAL_BALANCE - (2 * sb.INITIAL_BALANCE + 10.0) \
+            - 1.0
+        assert rows[0]["balance"] == pytest.approx(expected)
+
+    def test_write_check_no_penalty_when_funded(self, bank):
+        name = sb.reactor_name(0)
+        bank.run(name, "write_check", 100.0)
+        rows = bank.table_rows(name, "checking")
+        assert rows[0]["balance"] == \
+            pytest.approx(sb.INITIAL_BALANCE - 100.0)
+
+    def test_amalgamate(self, bank):
+        src, dst = sb.reactor_name(0), sb.reactor_name(8)
+        bank.run(src, "amalgamate", dst)
+        assert bank.run(src, "balance") == 0.0
+        assert bank.run(dst, "balance") == 4 * sb.INITIAL_BALANCE
+
+    def test_transfer(self, bank):
+        src, dst = sb.reactor_name(0), sb.reactor_name(8)
+        bank.run(src, "transfer", src, dst, 25.0)
+        savings_src = bank.table_rows(src, "savings")[0]["balance"]
+        savings_dst = bank.table_rows(dst, "savings")[0]["balance"]
+        assert savings_src == sb.INITIAL_BALANCE - 25.0
+        assert savings_dst == sb.INITIAL_BALANCE + 25.0
+
+    def test_transfer_rejects_non_positive(self, bank):
+        with pytest.raises(TransactionAbort):
+            bank.run(sb.reactor_name(0), "transfer",
+                     sb.reactor_name(0), sb.reactor_name(8), 0.0)
+
+
+class TestMultiTransfer:
+    @pytest.mark.parametrize("variant", sb.VARIANTS)
+    def test_variant_effects(self, bank, variant):
+        src = sb.reactor_name(0)
+        dsts = [sb.reactor_name(i) for i in (4, 8, 9)]
+        reactor, proc, args = sb.multi_transfer_spec(
+            variant, src, dsts, 10.0)
+        bank.run(reactor, proc, *args)
+        assert bank.table_rows(src, "savings")[0]["balance"] == \
+            pytest.approx(sb.INITIAL_BALANCE - 30.0)
+        for dst in dsts:
+            assert bank.table_rows(dst, "savings")[0]["balance"] == \
+                pytest.approx(sb.INITIAL_BALANCE + 10.0)
+        assert sb.total_money(bank, N) == \
+            pytest.approx(N * 2 * sb.INITIAL_BALANCE)
+
+    @pytest.mark.parametrize("variant", sb.VARIANTS)
+    def test_overdraft_aborts_whole_group(self, bank, variant):
+        src = sb.reactor_name(0)
+        dsts = [sb.reactor_name(i) for i in (4, 8, 9)]
+        reactor, proc, args = sb.multi_transfer_spec(
+            variant, src, dsts, sb.INITIAL_BALANCE)  # 3x overdraws
+        with pytest.raises(TransactionAbort):
+            bank.run(reactor, proc, *args)
+        # Atomicity: no partial credits survive.
+        for dst in dsts:
+            assert bank.table_rows(dst, "savings")[0]["balance"] == \
+                sb.INITIAL_BALANCE
+        assert sb.total_money(bank, N) == \
+            pytest.approx(N * 2 * sb.INITIAL_BALANCE)
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            sb.multi_transfer_spec("psychic", "a", ["b"], 1.0)
+
+    def test_latency_ordering_of_variants(self):
+        """The Figure 5 headline: more asynchronicity, less latency."""
+        latencies = {}
+        for variant in sb.VARIANTS:
+            deployment = shared_nothing(3, placement=RangePlacement(4))
+            database = ReactorDatabase(deployment, sb.declarations(N))
+            sb.load(database, N)
+            src = sb.reactor_name(0)
+            dsts = [sb.reactor_name(i) for i in (4, 5, 8, 9)]
+            reactor, proc, args = sb.multi_transfer_spec(
+                variant, src, dsts, 1.0)
+            start = database.scheduler.now
+            database.run(reactor, proc, *args)
+            latencies[variant] = database.scheduler.now - start
+        assert latencies["fully-sync"] > latencies["partially-async"]
+        assert latencies["partially-async"] > latencies["fully-async"]
+        assert latencies["fully-async"] > latencies["opt"]

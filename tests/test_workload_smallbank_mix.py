@@ -1,0 +1,112 @@
+"""Standard Smallbank mix driver tests (closed-loop integration)."""
+
+import random
+
+import pytest
+
+from repro.bench.harness import run_measurement
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    shared_everything_with_affinity,
+    shared_nothing,
+)
+from repro.workloads import smallbank as sb
+
+N = 12
+
+
+def fresh(deployment=None):
+    database = ReactorDatabase(deployment or shared_nothing(3),
+                               sb.declarations(N))
+    sb.load(database, N)
+    return database
+
+
+class FakeWorker:
+    def __init__(self, seed=3):
+        self.rng = random.Random(seed)
+        self.issued = 0
+
+
+class TestGenerator:
+    def test_specs_reference_known_procedures(self):
+        workload = sb.SmallbankWorkload(N)
+        worker = FakeWorker()
+        for __ in range(200):
+            reactor, proc, args = workload.next_txn(worker)
+            assert proc in sb.CUSTOMER.procedures
+            assert reactor.startswith("cust")
+
+    def test_mix_covers_all_transactions(self):
+        workload = sb.SmallbankWorkload(N)
+        worker = FakeWorker()
+        seen = {workload.next_txn(worker)[1] for __ in range(400)}
+        assert seen == set(sb.STANDARD_MIX)
+
+    def test_two_customer_txns_use_distinct_accounts(self):
+        workload = sb.SmallbankWorkload(N)
+        worker = FakeWorker()
+        for __ in range(200):
+            reactor, proc, args = workload.next_txn(worker)
+            if proc == "amalgamate":
+                assert args[0] != reactor
+            if proc == "transfer":
+                assert args[1] != args[0]
+
+    def test_hotspot_concentrates_accesses(self):
+        hot = sb.SmallbankWorkload(100, hotspot_fraction=0.9)
+        cold = sb.SmallbankWorkload(100, hotspot_fraction=0.0)
+
+        def head_share(workload):
+            worker = FakeWorker()
+            hits = 0
+            for __ in range(500):
+                reactor, __p, __a = workload.next_txn(worker)
+                if int(reactor[4:]) < 10:
+                    hits += 1
+            return hits / 500
+
+        assert head_share(hot) > head_share(cold) + 0.3
+
+    def test_needs_two_customers(self):
+        with pytest.raises(ValueError):
+            sb.SmallbankWorkload(1)
+
+
+class TestClosedLoopIntegration:
+    @pytest.mark.parametrize("deployment_fn", [
+        lambda: shared_nothing(3, mpl=4),
+        lambda: shared_everything_with_affinity(3),
+    ])
+    def test_mix_conserves_money_under_load(self, deployment_fn):
+        database = fresh(deployment_fn())
+        workload = sb.SmallbankWorkload(N)
+        result = run_measurement(database, 3, workload.factory_for,
+                                 warmup_us=2_000.0,
+                                 measure_us=30_000.0, n_epochs=3)
+        assert result.summary.committed > 50
+        # write_check/deposit/transact change totals; only transfer
+        # and amalgamate must conserve. Run a conservation-only mix:
+        database2 = fresh(deployment_fn())
+        conserving = sb.SmallbankWorkload(
+            N, mix=("transfer", "amalgamate", "balance"))
+        run_measurement(database2, 3, conserving.factory_for,
+                        warmup_us=2_000.0, measure_us=30_000.0,
+                        n_epochs=3)
+        assert sb.total_money(database2, N) == pytest.approx(
+            N * 2 * sb.INITIAL_BALANCE)
+
+    def test_hotspot_raises_aborts_under_shared_nothing(self):
+        database = fresh(shared_nothing(3, mpl=4))
+        uniform = sb.SmallbankWorkload(N, mix=("transfer",))
+        base = run_measurement(database, 4, uniform.factory_for,
+                               warmup_us=2_000.0,
+                               measure_us=30_000.0, n_epochs=3)
+        database2 = fresh(shared_nothing(3, mpl=4))
+        hot = sb.SmallbankWorkload(N, mix=("transfer",),
+                                   hotspot_fraction=0.95)
+        contended = run_measurement(database2, 4, hot.factory_for,
+                                    warmup_us=2_000.0,
+                                    measure_us=30_000.0, n_epochs=3)
+        assert contended.summary.abort_rate >= \
+            base.summary.abort_rate
