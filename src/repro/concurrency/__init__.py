@@ -1,21 +1,39 @@
-"""Concurrency control: Silo-style OCC, epochs/TIDs, and 2PC.
+"""Concurrency control: pluggable schemes, epochs/TIDs, and 2PC.
 
-Single-container transactions validate with the container's
-:class:`~repro.concurrency.occ.ConcurrencyManager`; transactions that
-span containers commit through
-:class:`~repro.concurrency.coordinator.TwoPhaseCommit`.  Correctness
-rests on Theorem 2.7 of the paper: a serializable scheduler for the
-classic transactional model implements one for the reactor model (see
-:mod:`repro.formal` for the executable formalization).
+The scheme a database runs under is a deployment-time choice
+(``DeploymentConfig.cc_scheme``): Silo-style OCC
+(:mod:`repro.concurrency.occ`), two-phase locking with NO_WAIT or
+WAIT_DIE conflict resolution (:mod:`repro.concurrency.locking`), or
+the explicit no-CC passthrough
+(:class:`~repro.concurrency.base.PassthroughCC`).  All schemes
+implement the :class:`~repro.concurrency.base.ConcurrencyControl`
+protocol; transactions that span containers commit through
+:class:`~repro.concurrency.coordinator.TwoPhaseCommit` regardless of
+scheme.  Correctness rests on Theorem 2.7 of the paper: a serializable
+scheduler for the classic transactional model implements one for the
+reactor model (see :mod:`repro.formal` for the executable
+formalization).
 """
 
-from repro.concurrency.coordinator import CommitOutcome, TwoPhaseCommit
-from repro.concurrency.occ import (
-    ConcurrencyManager,
-    OCCSession,
+from repro.concurrency.base import (
+    BUILTIN_CC_SCHEMES,
+    CCSession,
+    CCStats,
+    ConcurrencyControl,
+    PassthroughCC,
     ScanResult,
     WriteIntent,
+    cc_scheme_names,
+    create_cc_scheme,
+    register_cc_scheme,
 )
+from repro.concurrency.coordinator import CommitOutcome, TwoPhaseCommit
+from repro.concurrency.locking import (
+    LockingCC,
+    LockingSession,
+    LockManager,
+)
+from repro.concurrency.occ import ConcurrencyManager, OCCSession
 from repro.concurrency.tid import (
     EPOCH_PERIOD_US,
     EpochManager,
@@ -26,14 +44,25 @@ from repro.concurrency.tid import (
 )
 
 __all__ = [
+    "BUILTIN_CC_SCHEMES",
+    "CCSession",
+    "CCStats",
+    "ConcurrencyControl",
     "ConcurrencyManager",
     "OCCSession",
+    "PassthroughCC",
+    "LockingCC",
+    "LockingSession",
+    "LockManager",
     "ScanResult",
     "WriteIntent",
     "TwoPhaseCommit",
     "CommitOutcome",
     "EpochManager",
     "TidGenerator",
+    "cc_scheme_names",
+    "create_cc_scheme",
+    "register_cc_scheme",
     "make_tid",
     "tid_epoch",
     "tid_seq",

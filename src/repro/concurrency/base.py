@@ -1,0 +1,654 @@
+"""The pluggable concurrency-control (CC) abstraction.
+
+Database architecture is a deployment-time choice (the paper's central
+claim) — and so is the concurrency scheme.  This module defines the
+protocol every scheme implements, the machinery they share, and the
+registry that maps a ``cc_scheme`` deployment string to a per-container
+manager:
+
+* :class:`CCSession` — the transactional record manager for one (root
+  transaction, container) pair.  It owns the read-your-writes overlay:
+  reads/scans/inserts/updates/deletes of reactor procedures flow
+  through it, writes are buffered as :class:`WriteIntent`\\ s until
+  commit.  Schemes customize behaviour through three hooks:
+  :meth:`CCSession._begin_op` (runs before every data operation),
+  :meth:`CCSession._register_read` / :meth:`CCSession._register_node`
+  (a committed record / index-or-table structure joined the read
+  footprint) and :meth:`CCSession._set_intent` (a write joined the
+  write set) — OCC records versions to validate later, 2PL acquires
+  locks eagerly, passthrough does neither.
+
+* :class:`ConcurrencyControl` — the per-container manager: owns the
+  TID generator, the shared :class:`CCStats` counters and the optional
+  redo log, and drives ``validate`` / ``install`` / ``abort``.  The
+  write-installation phase is scheme-independent and lives here.
+
+* :func:`register_cc_scheme` / :func:`create_cc_scheme` — the scheme
+  registry.  Built-in schemes: ``"occ"`` (Silo-style optimistic,
+  :mod:`repro.concurrency.occ`), ``"2pl_nowait"`` and ``"2pl_waitdie"``
+  (two-phase locking, :mod:`repro.concurrency.locking`), and ``"none"``
+  (:class:`PassthroughCC`, the explicit no-concurrency-control scheme
+  that replaced the old ``cc_enabled`` bool).
+
+Every data operation returns the number of records *examined* along
+with its result, so the execution runtime can charge simulated CPU
+proportional to real work done.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Any, Callable, Iterable, Mapping
+
+from repro.errors import (
+    DeploymentError,
+    DuplicateKeyError,
+    QueryError,
+    RecordNotFound,
+)
+from repro.concurrency.tid import EpochManager, TidGenerator
+from repro.relational.index import HashIndex, OrderedIndex
+from repro.relational.predicate import ALWAYS, Predicate
+from repro.relational.table import Table
+from repro.storage.record import VersionedRecord
+
+Row = dict[str, Any]
+
+INSERT = "insert"
+UPDATE = "update"
+DELETE = "delete"
+
+
+class WriteIntent:
+    """A buffered write: what to do to one primary key at commit."""
+
+    __slots__ = ("kind", "table", "pk", "record", "new_value")
+
+    def __init__(self, kind: str, table: Table, pk: tuple,
+                 record: VersionedRecord | None,
+                 new_value: Row | None) -> None:
+        self.kind = kind
+        self.table = table
+        self.pk = pk
+        self.record = record
+        self.new_value = new_value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"WriteIntent({self.kind}, {self.table.name}, {self.pk!r})"
+
+
+class ScanResult:
+    """Rows returned by a scan plus the number of records examined."""
+
+    __slots__ = ("rows", "examined")
+
+    def __init__(self, rows: list[Row], examined: int) -> None:
+        self.rows = rows
+        self.examined = examined
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+@dataclass
+class CCStats:
+    """Shared per-container counters, one set per scheme instance.
+
+    Counters record *events at the container where they occur*: a
+    multi-container transaction that fails validation in one container
+    counts one validation failure there and nothing in its siblings; a
+    user abort spanning three containers counts once per container.
+    """
+
+    #: commit-time validations attempted (every scheme counts these).
+    validations: int = 0
+    #: OCC: stale read / locked read / phantom detected at validation.
+    validation_failures: int = 0
+    #: 2PL NO_WAIT: lock requests refused because of a conflict.
+    lock_conflicts: int = 0
+    #: 2PL WAIT_DIE: younger requesters that died instead of waiting.
+    deadlock_avoidance: int = 0
+    #: 2PL WAIT_DIE: younger holders wounded by an older requester.
+    wounds: int = 0
+    #: application-initiated aborts observed by this container.
+    user_aborts: int = 0
+    #: dynamic intra-transaction safety violations (Section 2.2.4).
+    dangerous_structure_aborts: int = 0
+
+    def merge(self, other: "CCStats") -> None:
+        for spec in fields(self):
+            setattr(self, spec.name,
+                    getattr(self, spec.name) + getattr(other, spec.name))
+
+    def abort_reasons(self) -> dict[str, int]:
+        """Abort events keyed by reason (the per-reason breakdown)."""
+        return {
+            "validation_failure": self.validation_failures,
+            "lock_conflict": self.lock_conflicts,
+            "deadlock_avoidance": self.deadlock_avoidance,
+            "wound": self.wounds,
+            "user": self.user_aborts,
+            "dangerous_structure": self.dangerous_structure_aborts,
+        }
+
+
+class CCSession:
+    """Read/write sets of one root transaction within one container.
+
+    The base class is a complete record manager (overlay semantics,
+    scan paths, intent merging); concrete schemes subclass it and
+    override the footprint hooks.  One session exists per (root
+    transaction, container); its manager drives validation,
+    installation and abort.
+    """
+
+    def __init__(self, txn_id: int, container_id: int) -> None:
+        self.txn_id = txn_id
+        self.container_id = container_id
+        #: The owning RootTransaction when driven by the runtime
+        #: (``None`` for manually driven sessions).  Schemes use it
+        #: for transaction-wide state shared across that root's
+        #: per-container sessions — e.g. 2PL wound propagation.
+        self.owner: Any = None
+        # id(record) -> (record, tid seen at first read)
+        self._reads: dict[int, tuple[VersionedRecord, int]] = {}
+        # (id(table), pk) -> WriteIntent
+        self._writes: dict[tuple[int, tuple], WriteIntent] = {}
+        # (object with .structure_version, version seen) — phantom guard
+        self._node_checks: dict[int, tuple[Any, int]] = {}
+        self._locked: list[VersionedRecord] = []
+        #: insert placeholders this session materialized in tables;
+        #: reclaimed on abort unless revived by a committed insert.
+        self._placeholders: list[tuple[Table, VersionedRecord]] = []
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    # Scheme hooks
+    # ------------------------------------------------------------------
+
+    def _begin_op(self) -> None:
+        """Runs before every public data operation (2PL: wound check)."""
+
+    def _register_read(self, record: VersionedRecord) -> None:
+        """A committed record joined the read footprint."""
+        key = id(record)
+        if key not in self._reads:
+            self._reads[key] = (record, record.tid)
+
+    def _register_node(self, node: Any) -> None:
+        """A table/index structure joined the read footprint (scan or
+        read-miss: guards against phantoms)."""
+        key = id(node)
+        if key not in self._node_checks:
+            self._node_checks[key] = (node, node.structure_version)
+
+    def _set_intent(self, intent: WriteIntent) -> None:
+        """A write joined (or replaced an entry of) the write set."""
+        self._writes[(id(intent.table), intent.pk)] = intent
+
+    # ------------------------------------------------------------------
+    # Bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    @property
+    def read_count(self) -> int:
+        return len(self._reads)
+
+    @property
+    def write_count(self) -> int:
+        return len(self._writes)
+
+    def _intent_for(self, table: Table, pk: tuple) -> WriteIntent | None:
+        return self._writes.get((id(table), pk))
+
+    def _drop_intent(self, table: Table, pk: tuple) -> None:
+        self._writes.pop((id(table), pk), None)
+
+    # ------------------------------------------------------------------
+    # Transactional data operations (the record manager interface)
+    # ------------------------------------------------------------------
+
+    def read(self, table: Table, pk: tuple) -> tuple[Row | None, int]:
+        """Point read by primary key; returns (row or None, examined)."""
+        self._begin_op()
+        intent = self._intent_for(table, pk)
+        if intent is not None:
+            if intent.kind == DELETE:
+                return None, 1
+            assert intent.new_value is not None
+            return dict(intent.new_value), 1
+        record = table.get_record(pk)
+        if record is None:
+            # A miss is also a predicate read: guard against a phantom
+            # insert of this key by validating the table structure.
+            self._register_node(table)
+            return None, 1
+        self._register_read(record)
+        return record.snapshot(), 1
+
+    def insert(self, table: Table, row: Mapping[str, Any]) -> int:
+        """Buffer an insert; duplicate keys visible to this transaction
+        raise immediately (concurrent duplicates surface at commit)."""
+        self._begin_op()
+        validated = table.schema.validate_row(row)
+        pk = table.schema.primary_key_of(validated)
+        intent = self._intent_for(table, pk)
+        if intent is not None:
+            if intent.kind == DELETE:
+                # delete + insert collapses to an update of the record.
+                self._set_intent(WriteIntent(
+                    UPDATE, table, pk, intent.record, validated))
+                return 1
+            raise DuplicateKeyError(
+                f"duplicate key {pk!r} in {table.name!r} (own write)"
+            )
+        if table.get_record(pk) is not None:
+            raise DuplicateKeyError(
+                f"duplicate key {pk!r} in {table.name!r}"
+            )
+        self._set_intent(WriteIntent(INSERT, table, pk, None, validated))
+        return 1
+
+    def update(self, table: Table, pk: tuple,
+               assignments: Mapping[str, Any]) -> tuple[Row, int]:
+        """Read-modify-write one row; returns (new image, examined)."""
+        self._begin_op()
+        table.schema.validate_assignments(assignments)
+        current, examined = self.read(table, pk)
+        if current is None:
+            raise RecordNotFound(
+                f"update of missing key {pk!r} in {table.name!r}"
+            )
+        new_value = dict(current)
+        new_value.update(assignments)
+        intent = self._intent_for(table, pk)
+        if intent is not None:
+            # Merge into the existing insert/update intent.
+            self._set_intent(WriteIntent(
+                intent.kind, table, pk, intent.record, new_value))
+        else:
+            record = table.get_record(pk)
+            assert record is not None  # read() above registered it
+            self._set_intent(WriteIntent(
+                UPDATE, table, pk, record, new_value))
+        return new_value, examined
+
+    def delete(self, table: Table, pk: tuple) -> int:
+        """Buffer a delete; returns records examined."""
+        self._begin_op()
+        intent = self._intent_for(table, pk)
+        if intent is not None:
+            if intent.kind == INSERT:
+                self._drop_intent(table, pk)
+                return 1
+            if intent.kind == DELETE:
+                raise RecordNotFound(
+                    f"delete of missing key {pk!r} in {table.name!r}"
+                )
+            self._set_intent(WriteIntent(
+                DELETE, table, pk, intent.record, None))
+            return 1
+        record = table.get_record(pk)
+        if record is None:
+            self._register_node(table)
+            raise RecordNotFound(
+                f"delete of missing key {pk!r} in {table.name!r}"
+            )
+        self._register_read(record)
+        self._set_intent(WriteIntent(DELETE, table, pk, record, None))
+        return 1
+
+    def scan(self, table: Table, predicate: Predicate = ALWAYS,
+             index: str | None = None, low: tuple | None = None,
+             high: tuple | None = None, reverse: bool = False,
+             limit: int | None = None) -> ScanResult:
+        """Predicate/range scan with write-set overlay.
+
+        Every candidate examined joins the read footprint (conservative
+        predicate-read protection); the index or table structure is
+        guarded against phantom inserts/deletes (version check for OCC,
+        structure lock for 2PL).
+        """
+        self._begin_op()
+        candidates, sort_keys, examined = self._collect_candidates(
+            table, predicate, index, low, high)
+        rows: list[tuple[Any, Row]] = []
+        for record in candidates:
+            intent = self._intent_for(table, record.key)
+            if intent is not None:
+                if intent.kind == DELETE:
+                    continue
+                image: Row | None = dict(intent.new_value or {})
+            else:
+                self._register_read(record)
+                image = record.snapshot()
+            if image is not None and predicate.matches(image):
+                rows.append((sort_keys(image, record.key), image))
+        # Own inserts join the result set.
+        for intent in list(self._writes.values()):
+            if intent.table is table and intent.kind == INSERT:
+                image = dict(intent.new_value or {})
+                if predicate.matches(image) and self._in_range(
+                        table, index, image, low, high):
+                    rows.append((sort_keys(image, intent.pk), image))
+                    examined += 1
+        rows.sort(key=lambda pair: pair[0], reverse=reverse)
+        out = [row for __, row in rows]
+        if limit is not None:
+            out = out[:limit]
+        return ScanResult(out, examined)
+
+    def _collect_candidates(self, table: Table, predicate: Predicate,
+                            index: str | None, low: tuple | None,
+                            high: tuple | None):
+        """Pick an access path; returns (records, sort_key_fn, examined)."""
+        if index is not None:
+            idx = table.index(index)
+            self._register_node(idx)
+            if isinstance(idx, OrderedIndex):
+                pks = list(idx.range(low, high))
+            else:
+                if low is None or low != high:
+                    raise QueryError(
+                        f"hash index {index!r} supports equality only; "
+                        "pass low == high"
+                    )
+                pks = list(idx.lookup(low))
+            records = list(table.records_for_pks(pks))
+            columns = idx.spec.columns
+
+            def sort_key(image: Row, pk: tuple):
+                return (tuple(image.get(c) for c in columns), pk)
+
+            return records, sort_key, len(records)
+
+        bindings = predicate.equality_bindings()
+        for idx in table.indexes.values():
+            if isinstance(idx, HashIndex) and all(
+                    c in bindings for c in idx.spec.columns):
+                self._register_node(idx)
+                key = tuple(bindings[c] for c in idx.spec.columns)
+                records = list(table.records_for_pks(idx.lookup(key)))
+                return records, (lambda image, pk: pk), len(records)
+
+        self._register_node(table)
+        records = list(table.iter_records())
+        return records, (lambda image, pk: pk), len(records)
+
+    @staticmethod
+    def _in_range(table: Table, index: str | None, image: Row,
+                  low: tuple | None, high: tuple | None) -> bool:
+        """Does an own-insert fall inside an explicit index range?"""
+        if index is None:
+            return True
+        idx = table.index(index)
+        key = idx.key_of(image)
+        if low is not None and key[: len(low)] < low:
+            return False
+        if high is not None and key[: len(high)] > high:
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Validation / installation hooks (driven by the manager)
+    # ------------------------------------------------------------------
+
+    def sorted_intents(self) -> list[WriteIntent]:
+        """Write intents in deterministic global lock order."""
+        return sorted(
+            self._writes.values(),
+            key=lambda w: (w.table.name, repr(w.pk)),
+        )
+
+    def read_entries(self) -> Iterable[tuple[VersionedRecord, int]]:
+        return self._reads.values()
+
+    def node_entries(self) -> Iterable[tuple[Any, int]]:
+        return self._node_checks.values()
+
+    def remember_lock(self, record: VersionedRecord) -> None:
+        self._locked.append(record)
+
+    def remember_placeholder(self, table: Table,
+                             record: VersionedRecord) -> None:
+        self._placeholders.append((table, record))
+
+    def reclaim_placeholders(self) -> None:
+        """Remove placeholders this session created that were never
+        revived by a committed insert, so aborted (or cancelled)
+        inserts don't permanently grow ``Table._records``.  A
+        placeholder another transaction still holds a lock on is left
+        in place — that transaction's install will revive it."""
+        for table, record in self._placeholders:
+            if not self._placeholder_in_use(record):
+                table.discard_placeholder(record)
+        self._placeholders.clear()
+
+    def _placeholder_in_use(self, record: VersionedRecord) -> bool:
+        """Does any *other* transaction still reference this
+        placeholder?  (Called after this session released its locks.)"""
+        return record.locked_by is not None
+
+    def release_locks(self) -> None:
+        for record in self._locked:
+            record.unlock(self.txn_id)
+        self._locked.clear()
+
+    def max_observed_tid(self) -> int:
+        tids = [tid for __, tid in self._reads.values()]
+        for intent in self._writes.values():
+            if intent.record is not None:
+                tids.append(intent.record.tid)
+        return max(tids, default=0)
+
+
+class ConcurrencyControl:
+    """Per-container CC engine: validation, installation, TIDs.
+
+    Subclasses implement :meth:`begin_session` and :meth:`validate`;
+    installation and abort are scheme-independent (buffered intents are
+    applied with the commit TID, redo-logged when durability is on, and
+    the session's locks — whatever the scheme means by locks — are
+    released through :meth:`CCSession.release_locks`).
+    """
+
+    #: Registry name of the scheme (set by subclasses).
+    scheme = "abstract"
+
+    def __init__(self, container_id: int, epochs: EpochManager) -> None:
+        self.container_id = container_id
+        self.tids = TidGenerator(epochs)
+        self.stats = CCStats()
+        #: Optional redo log (see repro.durability): when set, every
+        #: installed write is logged with its commit TID.
+        self.redo_log: Any = None
+
+    # -- legacy counter aliases (pre-refactor API) ----------------------
+
+    @property
+    def validations(self) -> int:
+        return self.stats.validations
+
+    @property
+    def validation_failures(self) -> int:
+        return self.stats.validation_failures
+
+    # -- protocol -------------------------------------------------------
+
+    def begin_session(self, txn_id: int) -> CCSession:
+        raise NotImplementedError
+
+    def validate(self, session: CCSession) -> int:
+        """Phase-1 validation; returns the TID floor for the commit TID.
+
+        Raises a :class:`~repro.errors.CCAbort` subclass on conflict
+        (after releasing any commit-time locks it took itself).
+        """
+        raise NotImplementedError
+
+    def commit_cost(self, costs: Any, reads: int, writes: int) -> float:
+        """Simulated CPU charged by the executor for the commit phase."""
+        return (costs.occ_commit_base
+                + costs.occ_validate_per_read * reads
+                + costs.occ_install_per_write * writes)
+
+    def install(self, session: CCSession, commit_tid: int) -> int:
+        """Phase-2 write installation; returns number of writes."""
+        count = 0
+        log_entries = []
+        for intent in session.sorted_intents():
+            if not self._install_intent(intent, commit_tid):
+                continue
+            count += 1
+            if self.redo_log is not None:
+                from repro.durability.wal import RedoEntry
+
+                log_entries.append(RedoEntry(
+                    reactor=intent.table.owner or "",
+                    table=intent.table.name,
+                    kind=intent.kind,
+                    pk=intent.pk,
+                    row=dict(intent.new_value)
+                    if intent.new_value is not None else None,
+                ))
+        if self.redo_log is not None and log_entries:
+            self.redo_log.append(commit_tid, log_entries)
+        session.release_locks()
+        # Installed inserts revived their placeholders; any left over
+        # belong to cancelled insert+delete pairs.
+        session.reclaim_placeholders()
+        session.finished = True
+        self.tids.advance_to(commit_tid)
+        return count
+
+    def _install_intent(self, intent: WriteIntent,
+                        commit_tid: int) -> bool:
+        """Apply one buffered write; returns whether it was applied.
+
+        Under a real scheme this can only succeed — validation/locking
+        guarantees exclusivity — so failures propagate as bugs.
+        """
+        if intent.kind == INSERT:
+            assert intent.new_value is not None
+            intent.table.install_insert(intent.new_value, commit_tid)
+        elif intent.kind == UPDATE:
+            assert intent.record is not None
+            assert intent.new_value is not None
+            intent.table.install_update(
+                intent.record, intent.new_value, commit_tid)
+        else:
+            assert intent.record is not None
+            intent.table.install_delete(intent.record, commit_tid)
+        return True
+
+    def abort(self, session: CCSession,
+              reason: str | None = "user") -> None:
+        """Drop all buffered writes and release any held locks.
+
+        ``reason`` attributes the abort in the stats: ``"user"`` and
+        ``"dangerous_structure"`` are counted here; CC-initiated aborts
+        (validation failures, lock conflicts, wounds) were already
+        counted at their raise site and pass ``None``.
+        """
+        if reason == "user":
+            self.stats.user_aborts += 1
+        elif reason == "dangerous_structure":
+            self.stats.dangerous_structure_aborts += 1
+        session.release_locks()
+        session.reclaim_placeholders()
+        session.finished = True
+
+
+class PassthroughCC(ConcurrencyControl):
+    """The explicit no-concurrency-control scheme (``"none"``).
+
+    Sessions still buffer writes (read-your-writes semantics and the
+    abort path need the overlay) but nothing is validated and no locks
+    are taken: concurrent conflicting transactions can produce
+    non-serializable results (lost updates, broken invariants).
+    Useful as the ablation baseline — contended runs violate
+    application invariants, and overlapped interleavings fail the
+    :mod:`repro.formal` audit.  (The audit records writes at buffering
+    time, so without CC a sequentially-buffered lost update can still
+    *record* as a serial history; state invariants are the reliable
+    detector here, the audit a best-effort one.)
+    """
+
+    scheme = "none"
+
+    def begin_session(self, txn_id: int) -> CCSession:
+        return CCSession(txn_id, self.container_id)
+
+    def validate(self, session: CCSession) -> int:
+        self.stats.validations += 1
+        return 0
+
+    def _install_intent(self, intent: WriteIntent,
+                        commit_tid: int) -> bool:
+        """Best-effort installation: with no validation or locks, two
+        transactions can race to install conflicting writes (e.g. the
+        same insert key); the loser's write is dropped rather than
+        crashing the run — exactly the kind of anomaly the ablation
+        exists to expose."""
+        from repro.errors import ReactorError
+
+        try:
+            return super()._install_intent(intent, commit_tid)
+        except ReactorError:
+            return False
+
+
+# ----------------------------------------------------------------------
+# Scheme registry
+# ----------------------------------------------------------------------
+
+#: The deployment-selectable scheme names shipped with the system.
+BUILTIN_CC_SCHEMES = ("occ", "2pl_nowait", "2pl_waitdie", "none")
+
+_SCHEME_FACTORIES: dict[
+    str, Callable[[int, EpochManager], ConcurrencyControl]] = {}
+
+
+def register_cc_scheme(name: str):
+    """Class/function decorator adding a scheme factory under ``name``.
+
+    The factory is called as ``factory(container_id, epochs)`` once per
+    container at database build time.
+    """
+    def decorate(factory):
+        _SCHEME_FACTORIES[name] = factory
+        return factory
+    return decorate
+
+
+def _ensure_builtin_schemes() -> None:
+    # Deferred: occ/locking import this module for the base classes.
+    import repro.concurrency.locking  # noqa: F401
+    import repro.concurrency.occ  # noqa: F401
+
+
+def cc_scheme_names() -> tuple[str, ...]:
+    """All registered scheme names (built-ins plus extensions)."""
+    _ensure_builtin_schemes()
+    return tuple(sorted(_SCHEME_FACTORIES))
+
+
+def create_cc_scheme(name: str, container_id: int,
+                     epochs: EpochManager) -> ConcurrencyControl:
+    """Instantiate the scheme ``name`` for one container."""
+    _ensure_builtin_schemes()
+    try:
+        factory = _SCHEME_FACTORIES[name]
+    except KeyError:
+        raise DeploymentError(
+            f"unknown cc_scheme {name!r}; registered schemes: "
+            f"{', '.join(sorted(_SCHEME_FACTORIES))}"
+        ) from None
+    return factory(container_id, epochs)
+
+
+register_cc_scheme("none")(
+    lambda container_id, epochs: PassthroughCC(container_id, epochs))

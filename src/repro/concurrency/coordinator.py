@@ -2,9 +2,15 @@
 
 A root transaction that touched reactors in more than one container
 commits through :class:`TwoPhaseCommit` (paper Section 3.2.2): phase
-one triggers Silo OCC validation on every involved container (taking
-write locks), phase two installs the writes with a globally maximal
-commit TID or aborts everywhere.
+one runs the container scheme's validation on every involved container
+(OCC locks the write set and checks the read set; 2PL re-checks the
+wound flag — its locks are already held; passthrough does nothing),
+phase two installs the writes with a globally maximal commit TID or
+aborts everywhere.  The coordinator is scheme-agnostic: participants
+are ``(manager, session)`` pairs of whatever
+:class:`~repro.concurrency.base.ConcurrencyControl` the deployment
+selected, so cross-container commits work identically under every
+scheme.
 
 The coordinator is pure logic — the transaction executor drives it and
 charges the simulated per-container communication costs around each
@@ -14,8 +20,10 @@ spanned exactly as in the paper's cost breakdowns.
 
 from __future__ import annotations
 
-from repro.concurrency.occ import ConcurrencyManager, OCCSession
-from repro.errors import ValidationAbort
+from repro.concurrency.base import CCSession, ConcurrencyControl
+from repro.errors import CCAbort
+
+Participant = tuple[ConcurrencyControl, CCSession]
 
 
 class CommitOutcome:
@@ -41,8 +49,7 @@ class CommitOutcome:
 class TwoPhaseCommit:
     """Commitment protocol over the containers a transaction touched."""
 
-    def __init__(self, participants: list[tuple[ConcurrencyManager,
-                                                OCCSession]]) -> None:
+    def __init__(self, participants: list[Participant]) -> None:
         if not participants:
             raise ValueError("a commit needs at least one participant")
         self.participants = participants
@@ -60,19 +67,20 @@ class TwoPhaseCommit:
         """
         ordered = sorted(self.participants,
                          key=lambda pair: pair[0].container_id)
-        validated: list[tuple[ConcurrencyManager, OCCSession]] = []
+        validated: list[Participant] = []
         floor = 0
         try:
             for manager, session in ordered:
                 floor = max(floor, manager.validate(session))
                 validated.append((manager, session))
-        except ValidationAbort as abort:
-            # validate() released its own locks; roll back the rest.
+        except CCAbort as abort:
+            # validate() released its own locks and counted the abort;
+            # roll back the rest without re-attributing a reason.
             for manager, session in validated:
-                manager.abort(session)
+                manager.abort(session, reason=None)
             for manager, session in ordered:
                 if (manager, session) not in validated:
-                    manager.abort(session)
+                    manager.abort(session, reason=None)
             return CommitOutcome(False, 0, len(ordered), 0,
                                  reason=str(abort))
         commit_tid = max(
@@ -84,9 +92,11 @@ class TwoPhaseCommit:
             writes += manager.install(session, commit_tid)
         return CommitOutcome(True, commit_tid, len(ordered), writes)
 
-    def abort(self) -> CommitOutcome:
-        """Abort everywhere (user aborts, safety violations)."""
+    def abort(self, reason: str | None = "user") -> CommitOutcome:
+        """Abort everywhere (user aborts, safety violations, or — with
+        ``reason=None`` — cleanup after a CC-initiated abort that was
+        already counted at its raise site)."""
         for manager, session in self.participants:
-            manager.abort(session)
+            manager.abort(session, reason=reason)
         return CommitOutcome(False, 0, len(self.participants), 0,
-                             reason="user abort")
+                             reason=reason or "concurrency abort")

@@ -1,4 +1,4 @@
-"""Silo-style optimistic concurrency control.
+"""Silo-style optimistic concurrency control (the ``"occ"`` scheme).
 
 ReactDB reuses Silo's OCC scheme (paper Section 3.2): transactions read
 committed record versions without locking, buffer writes locally, and
@@ -7,357 +7,71 @@ read-set TID, and conservatively re-checks index structure versions for
 scans (phantom protection).  On success, writes are installed with a
 commit TID greater than every TID observed.
 
-One :class:`OCCSession` exists per (root transaction, container); the
-:class:`ConcurrencyManager` is per container and owns validation,
-installation and TID generation.  The session also serves as the
-transactional record manager: all reads/scans/writes of reactor
-procedures flow through it, giving read-your-writes semantics over the
-committed tables.
+The buffered record-manager machinery (read-your-writes overlay, scan
+paths, write intents) lives in :class:`repro.concurrency.base.CCSession`
+and is shared with the other schemes; :class:`OCCSession` layers the
+optimistic read/node-version footprint on top and
+:class:`ConcurrencyManager` owns validation and installation.
 
-Every data operation returns the number of records *examined* along
-with its result, so the execution runtime can charge simulated CPU
-proportional to real work done.
+``ConcurrencyManager(..., enabled=False)`` is the legacy spelling of
+the explicit :class:`~repro.concurrency.base.PassthroughCC` scheme and
+is kept for backward compatibility.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping
-
-from repro.errors import (
-    DuplicateKeyError,
-    QueryError,
-    RecordNotFound,
-    ValidationAbort,
+from repro.errors import ValidationAbort
+from repro.concurrency.base import (
+    CCSession,
+    ConcurrencyControl,
+    INSERT,
+    Row,
+    ScanResult,
+    WriteIntent,
+    register_cc_scheme,
 )
-from repro.concurrency.tid import EpochManager, TidGenerator
-from repro.relational.index import HashIndex, OrderedIndex
-from repro.relational.predicate import ALWAYS, Predicate
-from repro.relational.table import Table
-from repro.storage.record import VersionedRecord
+from repro.concurrency.tid import EpochManager
 
-Row = dict[str, Any]
-
-_INSERT = "insert"
-_UPDATE = "update"
-_DELETE = "delete"
+__all__ = [
+    "ConcurrencyManager",
+    "OCCSession",
+    "Row",
+    "ScanResult",
+    "WriteIntent",
+]
 
 
-class WriteIntent:
-    """A buffered write: what to do to one primary key at commit."""
+class OCCSession(CCSession):
+    """Read/write sets of one root transaction within one container.
 
-    __slots__ = ("kind", "table", "pk", "record", "new_value")
-
-    def __init__(self, kind: str, table: Table, pk: tuple,
-                 record: VersionedRecord | None,
-                 new_value: Row | None) -> None:
-        self.kind = kind
-        self.table = table
-        self.pk = pk
-        self.record = record
-        self.new_value = new_value
-
-    def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"WriteIntent({self.kind}, {self.table.name}, {self.pk!r})"
+    The base class already records the optimistic footprint (record
+    TIDs at first read, structure versions at scan / read-miss); OCC
+    needs no per-operation work beyond that, so the session is the base
+    behaviour unchanged — validation interprets the footprint.
+    """
 
 
-class ScanResult:
-    """Rows returned by a scan plus the number of records examined."""
-
-    __slots__ = ("rows", "examined")
-
-    def __init__(self, rows: list[Row], examined: int) -> None:
-        self.rows = rows
-        self.examined = examined
-
-    def __iter__(self):
-        return iter(self.rows)
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-
-class OCCSession:
-    """Read/write sets of one root transaction within one container."""
-
-    def __init__(self, txn_id: int, container_id: int) -> None:
-        self.txn_id = txn_id
-        self.container_id = container_id
-        # id(record) -> (record, tid seen at first read)
-        self._reads: dict[int, tuple[VersionedRecord, int]] = {}
-        # (id(table), pk) -> WriteIntent
-        self._writes: dict[tuple[int, tuple], WriteIntent] = {}
-        # (object with .structure_version, version seen) — phantom guard
-        self._node_checks: dict[int, tuple[Any, int]] = {}
-        self._locked: list[VersionedRecord] = []
-        self.finished = False
-
-    # ------------------------------------------------------------------
-    # Bookkeeping helpers
-    # ------------------------------------------------------------------
-
-    @property
-    def read_count(self) -> int:
-        return len(self._reads)
-
-    @property
-    def write_count(self) -> int:
-        return len(self._writes)
-
-    def _register_read(self, record: VersionedRecord) -> None:
-        key = id(record)
-        if key not in self._reads:
-            self._reads[key] = (record, record.tid)
-
-    def _register_node(self, node: Any) -> None:
-        key = id(node)
-        if key not in self._node_checks:
-            self._node_checks[key] = (node, node.structure_version)
-
-    def _intent_for(self, table: Table, pk: tuple) -> WriteIntent | None:
-        return self._writes.get((id(table), pk))
-
-    def _set_intent(self, intent: WriteIntent) -> None:
-        self._writes[(id(intent.table), intent.pk)] = intent
-
-    def _drop_intent(self, table: Table, pk: tuple) -> None:
-        self._writes.pop((id(table), pk), None)
-
-    # ------------------------------------------------------------------
-    # Transactional data operations (the record manager interface)
-    # ------------------------------------------------------------------
-
-    def read(self, table: Table, pk: tuple) -> tuple[Row | None, int]:
-        """Point read by primary key; returns (row or None, examined)."""
-        intent = self._intent_for(table, pk)
-        if intent is not None:
-            if intent.kind == _DELETE:
-                return None, 1
-            assert intent.new_value is not None
-            return dict(intent.new_value), 1
-        record = table.get_record(pk)
-        if record is None:
-            # A miss is also a predicate read: guard against a phantom
-            # insert of this key by validating the table structure.
-            self._register_node(table)
-            return None, 1
-        self._register_read(record)
-        return record.snapshot(), 1
-
-    def insert(self, table: Table, row: Mapping[str, Any]) -> int:
-        """Buffer an insert; duplicate keys visible to this transaction
-        raise immediately (concurrent duplicates surface at commit)."""
-        validated = table.schema.validate_row(row)
-        pk = table.schema.primary_key_of(validated)
-        intent = self._intent_for(table, pk)
-        if intent is not None:
-            if intent.kind == _DELETE:
-                # delete + insert collapses to an update of the record.
-                self._set_intent(WriteIntent(
-                    _UPDATE, table, pk, intent.record, validated))
-                return 1
-            raise DuplicateKeyError(
-                f"duplicate key {pk!r} in {table.name!r} (own write)"
-            )
-        if table.get_record(pk) is not None:
-            raise DuplicateKeyError(
-                f"duplicate key {pk!r} in {table.name!r}"
-            )
-        self._set_intent(WriteIntent(_INSERT, table, pk, None, validated))
-        return 1
-
-    def update(self, table: Table, pk: tuple,
-               assignments: Mapping[str, Any]) -> tuple[Row, int]:
-        """Read-modify-write one row; returns (new image, examined)."""
-        table.schema.validate_assignments(assignments)
-        current, examined = self.read(table, pk)
-        if current is None:
-            raise RecordNotFound(
-                f"update of missing key {pk!r} in {table.name!r}"
-            )
-        new_value = dict(current)
-        new_value.update(assignments)
-        intent = self._intent_for(table, pk)
-        if intent is not None:
-            # Merge into the existing insert/update intent.
-            self._set_intent(WriteIntent(
-                intent.kind, table, pk, intent.record, new_value))
-        else:
-            record = table.get_record(pk)
-            assert record is not None  # read() above registered it
-            self._set_intent(WriteIntent(
-                _UPDATE, table, pk, record, new_value))
-        return new_value, examined
-
-    def delete(self, table: Table, pk: tuple) -> int:
-        """Buffer a delete; returns records examined."""
-        intent = self._intent_for(table, pk)
-        if intent is not None:
-            if intent.kind == _INSERT:
-                self._drop_intent(table, pk)
-                return 1
-            if intent.kind == _DELETE:
-                raise RecordNotFound(
-                    f"delete of missing key {pk!r} in {table.name!r}"
-                )
-            self._set_intent(WriteIntent(
-                _DELETE, table, pk, intent.record, None))
-            return 1
-        record = table.get_record(pk)
-        if record is None:
-            self._register_node(table)
-            raise RecordNotFound(
-                f"delete of missing key {pk!r} in {table.name!r}"
-            )
-        self._register_read(record)
-        self._set_intent(WriteIntent(_DELETE, table, pk, record, None))
-        return 1
-
-    def scan(self, table: Table, predicate: Predicate = ALWAYS,
-             index: str | None = None, low: tuple | None = None,
-             high: tuple | None = None, reverse: bool = False,
-             limit: int | None = None) -> ScanResult:
-        """Predicate/range scan with write-set overlay.
-
-        Every candidate examined joins the read set (conservative
-        predicate-read validation); the index or table structure version
-        is checked at commit for phantom inserts/deletes.
-        """
-        candidates, sort_keys, examined = self._collect_candidates(
-            table, predicate, index, low, high)
-        rows: list[tuple[Any, Row]] = []
-        for record in candidates:
-            intent = self._intent_for(table, record.key)
-            if intent is not None:
-                if intent.kind == _DELETE:
-                    continue
-                image: Row | None = dict(intent.new_value or {})
-            else:
-                self._register_read(record)
-                image = record.snapshot()
-            if image is not None and predicate.matches(image):
-                rows.append((sort_keys(image, record.key), image))
-        # Own inserts join the result set.
-        for intent in list(self._writes.values()):
-            if intent.table is table and intent.kind == _INSERT:
-                image = dict(intent.new_value or {})
-                if predicate.matches(image) and self._in_range(
-                        table, index, image, low, high):
-                    rows.append((sort_keys(image, intent.pk), image))
-                    examined += 1
-        rows.sort(key=lambda pair: pair[0], reverse=reverse)
-        out = [row for __, row in rows]
-        if limit is not None:
-            out = out[:limit]
-        return ScanResult(out, examined)
-
-    def _collect_candidates(self, table: Table, predicate: Predicate,
-                            index: str | None, low: tuple | None,
-                            high: tuple | None):
-        """Pick an access path; returns (records, sort_key_fn, examined)."""
-        if index is not None:
-            idx = table.index(index)
-            self._register_node(idx)
-            if isinstance(idx, OrderedIndex):
-                pks = list(idx.range(low, high))
-            else:
-                if low is None or low != high:
-                    raise QueryError(
-                        f"hash index {index!r} supports equality only; "
-                        "pass low == high"
-                    )
-                pks = list(idx.lookup(low))
-            records = list(table.records_for_pks(pks))
-            columns = idx.spec.columns
-
-            def sort_key(image: Row, pk: tuple):
-                return (tuple(image.get(c) for c in columns), pk)
-
-            return records, sort_key, len(records)
-
-        bindings = predicate.equality_bindings()
-        for idx in table.indexes.values():
-            if isinstance(idx, HashIndex) and all(
-                    c in bindings for c in idx.spec.columns):
-                self._register_node(idx)
-                key = tuple(bindings[c] for c in idx.spec.columns)
-                records = list(table.records_for_pks(idx.lookup(key)))
-                return records, (lambda image, pk: pk), len(records)
-
-        self._register_node(table)
-        records = list(table.iter_records())
-        return records, (lambda image, pk: pk), len(records)
-
-    @staticmethod
-    def _in_range(table: Table, index: str | None, image: Row,
-                  low: tuple | None, high: tuple | None) -> bool:
-        """Does an own-insert fall inside an explicit index range?"""
-        if index is None:
-            return True
-        idx = table.index(index)
-        key = idx.key_of(image)
-        if low is not None and key[: len(low)] < low:
-            return False
-        if high is not None and key[: len(high)] > high:
-            return False
-        return True
-
-    # ------------------------------------------------------------------
-    # Validation / installation hooks (driven by ConcurrencyManager)
-    # ------------------------------------------------------------------
-
-    def sorted_intents(self) -> list[WriteIntent]:
-        """Write intents in deterministic global lock order."""
-        return sorted(
-            self._writes.values(),
-            key=lambda w: (w.table.name, repr(w.pk)),
-        )
-
-    def read_entries(self) -> Iterable[tuple[VersionedRecord, int]]:
-        return self._reads.values()
-
-    def node_entries(self) -> Iterable[tuple[Any, int]]:
-        return self._node_checks.values()
-
-    def remember_lock(self, record: VersionedRecord) -> None:
-        self._locked.append(record)
-
-    def release_locks(self) -> None:
-        for record in self._locked:
-            record.unlock(self.txn_id)
-        self._locked.clear()
-
-    def max_observed_tid(self) -> int:
-        tids = [tid for __, tid in self._reads.values()]
-        for intent in self._writes.values():
-            if intent.record is not None:
-                tids.append(intent.record.tid)
-        return max(tids, default=0)
-
-
-class ConcurrencyManager:
+@register_cc_scheme("occ")
+class ConcurrencyManager(ConcurrencyControl):
     """Per-container OCC engine: validation, installation, TIDs."""
+
+    scheme = "occ"
 
     def __init__(self, container_id: int, epochs: EpochManager,
                  enabled: bool = True) -> None:
-        self.container_id = container_id
+        super().__init__(container_id, epochs)
         self.enabled = enabled
-        self.tids = TidGenerator(epochs)
-        self.validations = 0
-        self.validation_failures = 0
-        #: Optional redo log (see repro.durability): when set, every
-        #: installed write is logged with its commit TID.
-        self.redo_log: Any = None
 
     def begin_session(self, txn_id: int) -> OCCSession:
         return OCCSession(txn_id, self.container_id)
 
-    def validate(self, session: OCCSession) -> int:
+    def validate(self, session: CCSession) -> int:
         """Phase-1 validation; locks the write set.
 
         Returns the TID floor for the commit TID.  Raises
         :class:`ValidationAbort` (after releasing locks) on conflict.
         """
-        self.validations += 1
+        self.stats.validations += 1
         if not self.enabled:
             return 0
         try:
@@ -381,13 +95,14 @@ class ConcurrencyManager:
                         f"scan of txn {session.txn_id}"
                     )
         except ValidationAbort:
-            self.validation_failures += 1
+            self.stats.validation_failures += 1
             session.release_locks()
             raise
         return session.max_observed_tid()
 
-    def _lock_intent(self, session: OCCSession, intent: WriteIntent) -> None:
-        if intent.kind == _INSERT:
+    def _lock_intent(self, session: CCSession,
+                     intent: WriteIntent) -> None:
+        if intent.kind == INSERT:
             live = intent.table.get_record(intent.pk)
             if live is not None:
                 raise ValidationAbort(
@@ -395,6 +110,7 @@ class ConcurrencyManager:
                     f"{intent.table.name!r}"
                 )
             placeholder = intent.table.ensure_placeholder(intent.pk)
+            session.remember_placeholder(intent.table, placeholder)
             if not placeholder.lock(session.txn_id):
                 raise ValidationAbort(
                     f"insert placeholder {intent.pk!r} locked by "
@@ -411,44 +127,3 @@ class ConcurrencyManager:
                     "committer"
                 )
             session.remember_lock(record)
-
-    def install(self, session: OCCSession, commit_tid: int) -> int:
-        """Phase-2 write installation; returns number of writes."""
-        count = 0
-        log_entries = []
-        if self.enabled or session.write_count:
-            for intent in session.sorted_intents():
-                if intent.kind == _INSERT:
-                    assert intent.new_value is not None
-                    intent.table.install_insert(intent.new_value, commit_tid)
-                elif intent.kind == _UPDATE:
-                    assert intent.record is not None
-                    assert intent.new_value is not None
-                    intent.table.install_update(
-                        intent.record, intent.new_value, commit_tid)
-                else:
-                    assert intent.record is not None
-                    intent.table.install_delete(intent.record, commit_tid)
-                count += 1
-                if self.redo_log is not None:
-                    from repro.durability.wal import RedoEntry
-
-                    log_entries.append(RedoEntry(
-                        reactor=intent.table.owner or "",
-                        table=intent.table.name,
-                        kind=intent.kind,
-                        pk=intent.pk,
-                        row=dict(intent.new_value)
-                        if intent.new_value is not None else None,
-                    ))
-        if self.redo_log is not None and log_entries:
-            self.redo_log.append(commit_tid, log_entries)
-        session.release_locks()
-        session.finished = True
-        self.tids.advance_to(commit_tid)
-        return count
-
-    def abort(self, session: OCCSession) -> None:
-        """Drop all buffered writes and release any held locks."""
-        session.release_locks()
-        session.finished = True

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.concurrency.occ import ConcurrencyManager
+from repro.concurrency.base import CCStats, create_cc_scheme
 from repro.concurrency.tid import EpochManager
 from repro.core.deployment import ROUND_ROBIN, DeploymentConfig
 from repro.core.reactor import Reactor, ReactorType
@@ -74,8 +74,8 @@ class ReactorDatabase:
             )
         core_id = 0
         for cid, spec in enumerate(deployment.containers):
-            concurrency = ConcurrencyManager(
-                cid, self.epochs, enabled=deployment.cc_enabled)
+            concurrency = create_cc_scheme(
+                deployment.cc_scheme, cid, self.epochs)
             container = Container(cid, self, concurrency)
             for __ in range(spec.executors):
                 executor = container.add_executor(core_id, spec.mpl)
@@ -209,14 +209,32 @@ class ReactorDatabase:
         """Cumulative busy time per executor core."""
         return {e.core_id: e.busy_time for e in self.executors}
 
-    def abort_counts(self) -> dict[str, int]:
-        """Validation statistics across containers."""
+    def abort_counts(self) -> dict[str, Any]:
+        """Concurrency-control statistics across containers.
+
+        Per-scheme, per-reason abort breakdown sourced from the CC
+        stats counters: ``by_reason`` maps reason (validation failure,
+        lock conflict, deadlock avoidance, wound, user abort, dangerous
+        structure) to the number of abort events.  These are
+        *events*, not aborted transactions: counters are per-container
+        and summed, so a multi-container user abort contributes once
+        per participant, and one doomed transaction can in principle
+        appear under more than one reason.  For per-transaction abort
+        rates use the benchmark summaries
+        (:class:`repro.bench.metrics.RunSummary`).  The flat
+        ``validations`` / ``validation_failures`` keys are the
+        pre-refactor API and remain for compatibility.
+        """
+        merged = CCStats()
+        for container in self.containers:
+            merged.merge(container.concurrency.stats)
+        by_reason = merged.abort_reasons()
         return {
-            "validations": sum(
-                c.concurrency.validations for c in self.containers),
-            "validation_failures": sum(
-                c.concurrency.validation_failures
-                for c in self.containers),
+            "scheme": self.deployment.cc_scheme,
+            "validations": merged.validations,
+            "validation_failures": merged.validation_failures,
+            "by_reason": by_reason,
+            "total_aborts": sum(by_reason.values()),
         }
 
 

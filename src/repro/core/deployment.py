@@ -5,8 +5,10 @@ where shared-everything and shared-nothing are just two points of a
 spectrum — can be configured at deployment time *without changing
 application code*.  A :class:`DeploymentConfig` captures one such
 choice: how many containers, how many transaction executors per
-container, how root transactions are routed, and whether reactors are
-pinned to a single executor.
+container, how root transactions are routed, whether reactors are
+pinned to a single executor, and which concurrency-control scheme the
+containers run (``cc_scheme``: OCC, 2PL, or none — see
+:mod:`repro.concurrency.base`).
 
 The three strategies evaluated in the paper (Section 3.3) have factory
 functions:
@@ -127,7 +129,14 @@ class ContainerSpec:
 
 @dataclass
 class DeploymentConfig:
-    """A complete architecture choice for one reactor database."""
+    """A complete architecture choice for one reactor database.
+
+    ``cc_scheme`` selects the concurrency-control protocol every
+    container runs — ``"occ"`` (Silo-style optimistic, the default),
+    ``"2pl_nowait"`` / ``"2pl_waitdie"`` (two-phase locking), or
+    ``"none"`` (no concurrency control) — making isolation, like
+    architecture, a config edit rather than an application change.
+    """
 
     name: str
     containers: list[ContainerSpec]
@@ -135,7 +144,7 @@ class DeploymentConfig:
     pin_reactors: bool = False
     machine: MachineProfile = field(default_factory=lambda: XEON_E3_1276)
     placement: Placement = field(default_factory=Placement)
-    cc_enabled: bool = True
+    cc_scheme: str = "occ"
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -149,10 +158,22 @@ class DeploymentConfig:
                 "round-robin routing models a shared-everything "
                 "deployment; use a single container"
             )
+        from repro.concurrency.base import cc_scheme_names
+
+        if self.cc_scheme not in cc_scheme_names():
+            raise DeploymentError(
+                f"unknown cc_scheme {self.cc_scheme!r}; expected one "
+                f"of {', '.join(cc_scheme_names())}"
+            )
 
     @property
     def total_executors(self) -> int:
         return sum(spec.executors for spec in self.containers)
+
+    @property
+    def cc_enabled(self) -> bool:
+        """Legacy view of the scheme choice: is any CC active?"""
+        return self.cc_scheme != "none"
 
     # -- serialization --------------------------------------------------
 
@@ -167,11 +188,15 @@ class DeploymentConfig:
             "routing": self.routing,
             "pin_reactors": self.pin_reactors,
             "placement": self.placement.to_dict(),
-            "cc_enabled": self.cc_enabled,
+            "cc_scheme": self.cc_scheme,
         }
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "DeploymentConfig":
+        scheme = data.get("cc_scheme")
+        if scheme is None:
+            # Legacy configs carried a bool instead of a scheme name.
+            scheme = "occ" if data.get("cc_enabled", True) else "none"
         return DeploymentConfig(
             name=data["name"],
             containers=[
@@ -184,7 +209,7 @@ class DeploymentConfig:
             machine=get_profile(data.get("machine", XEON_E3_1276.name)),
             placement=Placement.from_dict(
                 data.get("placement", {"kind": "modulo"})),
-            cc_enabled=bool(data.get("cc_enabled", True)),
+            cc_scheme=scheme,
         )
 
     def to_json(self) -> str:
@@ -199,10 +224,18 @@ class DeploymentConfig:
 # The paper's three deployment strategies (Section 3.3)
 # ----------------------------------------------------------------------
 
+def _resolve_scheme(cc_scheme: str, cc_enabled: bool | None) -> str:
+    """Factories accept the legacy ``cc_enabled`` bool as an alias."""
+    if cc_enabled is None:
+        return cc_scheme
+    return cc_scheme if cc_enabled else "none"
+
+
 def shared_everything_without_affinity(
         n_executors: int, machine: MachineProfile = XEON_E3_1276,
         placement: Placement | None = None,
-        cc_enabled: bool = True) -> DeploymentConfig:
+        cc_scheme: str = "occ",
+        cc_enabled: bool | None = None) -> DeploymentConfig:
     """S1: one container, round-robin load balancing, MPL 1."""
     return DeploymentConfig(
         name="shared-everything-without-affinity",
@@ -211,14 +244,15 @@ def shared_everything_without_affinity(
         pin_reactors=False,
         machine=machine,
         placement=placement or Placement(),
-        cc_enabled=cc_enabled,
+        cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
     )
 
 
 def shared_everything_with_affinity(
         n_executors: int, machine: MachineProfile = XEON_E3_1276,
         placement: Placement | None = None,
-        cc_enabled: bool = True) -> DeploymentConfig:
+        cc_scheme: str = "occ",
+        cc_enabled: bool | None = None) -> DeploymentConfig:
     """S2: one container, affinity routing, MPL 1 (Silo-like setup)."""
     return DeploymentConfig(
         name="shared-everything-with-affinity",
@@ -227,14 +261,15 @@ def shared_everything_with_affinity(
         pin_reactors=False,
         machine=machine,
         placement=placement or Placement(),
-        cc_enabled=cc_enabled,
+        cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
     )
 
 
 def shared_nothing(n_containers: int,
                    machine: MachineProfile = XEON_E3_1276,
                    mpl: int = 4, placement: Placement | None = None,
-                   cc_enabled: bool = True) -> DeploymentConfig:
+                   cc_scheme: str = "occ",
+                   cc_enabled: bool | None = None) -> DeploymentConfig:
     """S3: one executor per container, reactors pinned.
 
     The ``-sync`` / ``-async`` variants of the paper differ only in how
@@ -250,5 +285,5 @@ def shared_nothing(n_containers: int,
         pin_reactors=True,
         machine=machine,
         placement=placement or Placement(),
-        cc_enabled=cc_enabled,
+        cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
     )

@@ -50,8 +50,31 @@ class UserAbort(TransactionAbort):
     """The application logic requested an abort (``ctx.abort(...)``)."""
 
 
-class ValidationAbort(TransactionAbort):
+class CCAbort(TransactionAbort):
+    """Base class for aborts initiated by a concurrency-control scheme.
+
+    The runtime distinguishes these from user aborts when attributing
+    abort reasons: a :class:`CCAbort` means the scheme killed an
+    otherwise healthy transaction to preserve isolation.
+    """
+
+
+class ValidationAbort(CCAbort):
     """OCC validation failed: a read was stale or a write lock clashed."""
+
+
+class LockConflictAbort(CCAbort):
+    """2PL NO_WAIT: a lock request conflicted with a concurrent holder."""
+
+
+class DeadlockAvoidanceAbort(CCAbort):
+    """2PL WAIT_DIE: the requester was younger than a conflicting lock
+    holder and died rather than wait (deadlock avoidance)."""
+
+
+class WoundAbort(CCAbort):
+    """2PL WAIT_DIE: this transaction was wounded (preempted) by an
+    older transaction requesting a lock it held."""
 
 
 class DangerousStructureAbort(TransactionAbort):

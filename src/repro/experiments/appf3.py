@@ -33,7 +33,7 @@ def run(scale_factors: tuple[int, ...] = (1, 4, 8, 16),
     points = []
     for scale_factor in scale_factors:
         empty_db = tpcc_database("shared-nothing-async", scale_factor,
-                                 cc_enabled=False)
+                                 cc_scheme="none")
 
         def empty_factory(worker_id: int):
             w_name = tpcc.warehouse_name(

@@ -75,23 +75,29 @@ def spread_destinations(size: int, customers_per_container: int = 200,
 def tpcc_deployment(strategy: str, n_executors: int,
                     machine: MachineProfile = OPTERON_6274,
                     mpl: int = 4,
-                    cc_enabled: bool = True) -> DeploymentConfig:
+                    cc_scheme: str = "occ",
+                    cc_enabled: bool | None = None) -> DeploymentConfig:
     """A TPC-C deployment per paper strategy name.
 
     ``shared-nothing-sync`` and ``shared-nothing-async`` share the same
     deployment — they differ only in the program formulation (the
-    ``sync_remote`` knob of the workload).
+    ``sync_remote`` knob of the workload).  ``cc_scheme`` selects the
+    concurrency-control protocol ("occ", "2pl_nowait", "2pl_waitdie",
+    "none"); the legacy ``cc_enabled`` bool is accepted as an alias,
+    as in the deployment factories.
     """
+    if cc_enabled is not None:
+        cc_scheme = cc_scheme if cc_enabled else "none"
     if strategy == "shared-everything-without-affinity":
         return shared_everything_without_affinity(
-            n_executors, machine=machine, cc_enabled=cc_enabled)
+            n_executors, machine=machine, cc_scheme=cc_scheme)
     if strategy == "shared-everything-with-affinity":
         return shared_everything_with_affinity(
-            n_executors, machine=machine, cc_enabled=cc_enabled)
+            n_executors, machine=machine, cc_scheme=cc_scheme)
     if strategy in ("shared-nothing-async", "shared-nothing-sync",
                     "shared-nothing"):
         return shared_nothing(n_executors, machine=machine, mpl=mpl,
-                              cc_enabled=cc_enabled)
+                              cc_scheme=cc_scheme)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -99,14 +105,15 @@ def tpcc_database(strategy: str, n_warehouses: int,
                   scale: tpcc.TpccScale | None = None,
                   machine: MachineProfile = OPTERON_6274,
                   mpl: int = 4, n_executors: int | None = None,
-                  cc_enabled: bool = True) -> ReactorDatabase:
+                  cc_scheme: str = "occ",
+                  cc_enabled: bool | None = None) -> ReactorDatabase:
     """Build and load a TPC-C database under one strategy.
 
     ``n_executors`` defaults to ``n_warehouses`` (the paper configures
     one transaction executor per warehouse)."""
     deployment = tpcc_deployment(
         strategy, n_executors or n_warehouses, machine=machine,
-        mpl=mpl, cc_enabled=cc_enabled)
+        mpl=mpl, cc_scheme=cc_scheme, cc_enabled=cc_enabled)
     database = ReactorDatabase(deployment,
                                tpcc.declarations(n_warehouses))
     tpcc.load(database, n_warehouses, scale)

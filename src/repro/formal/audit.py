@@ -9,7 +9,7 @@ The recorded history of any run can then be checked for conflict
 serializability with the Section 2.3 machinery — an operation-level
 audit complementing the state-equivalence integration tests.
 
-Recording works by wrapping the OCC session methods; it is strictly
+Recording works by wrapping the CC session methods (any scheme); it is strictly
 observational (no behavior change) and adds Python-level overhead
 only, never virtual time.
 """
@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.concurrency.occ import OCCSession
+from repro.concurrency.base import CCSession
 from repro.formal.history import ReactorHistory
 from repro.formal.ops import Op, abort, commit
 from repro.formal.serializability import (
@@ -75,9 +75,9 @@ class HistoryRecorder:
             self.history.committed_txns(),
             self.history.subtxn_conflict_edges())
 
-    def wrap(self, session: OCCSession, reactor: Any,
+    def wrap(self, session: CCSession, reactor: Any,
              task: Any) -> "_RecordingSession":
-        """Wrap one frame's OCC session so its operations are
+        """Wrap one frame's CC session so its operations are
         observed (called by the execution context hook)."""
         def subtxn_of() -> int:
             if task.frames:
@@ -88,14 +88,14 @@ class HistoryRecorder:
 
 
 class _RecordingSession:
-    """OCC session proxy that reports basic operations.
+    """CC session proxy that reports basic operations.
 
     Reads are recorded for point reads and for every row returned by a
     scan; writes at buffering time.  (Write *installation* order is
     governed by commit events, which the recorder also sees.)
     """
 
-    def __init__(self, session: OCCSession, recorder: HistoryRecorder,
+    def __init__(self, session: CCSession, recorder: HistoryRecorder,
                  reactor: Any, subtxn_of: Any) -> None:
         self._session = session
         self._recorder = recorder

@@ -37,6 +37,15 @@ class _IndexBase:
     def key_of(self, row: Mapping[str, Any]) -> tuple:
         return tuple(row[c] for c in self.spec.columns)
 
+    def check_insert(self, key: tuple) -> None:
+        """Raise :class:`DuplicateKeyError` if inserting ``key`` would
+        violate uniqueness — without mutating the index.  Lets callers
+        validate a whole write before applying any part of it."""
+        if self.spec.unique and self.lookup(key):
+            raise DuplicateKeyError(
+                f"unique index {self.name!r} violated for key {key!r}"
+            )
+
 
 class HashIndex(_IndexBase):
     """Equality-only index: key tuple -> set of primary keys."""

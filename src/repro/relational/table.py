@@ -84,7 +84,12 @@ class Table:
 
     def install_insert(self, row: Mapping[str, Any],
                        tid: int) -> VersionedRecord:
-        """Create a new committed record (or revive a tombstone)."""
+        """Create a new committed record (or revive a tombstone).
+
+        All-or-nothing: uniqueness (primary key and unique secondary
+        indexes) is validated before any structure is mutated, so a
+        refused insert leaves the table exactly as it was.
+        """
         validated = self.schema.validate_row(row)
         pk = self.schema.primary_key_of(validated)
         existing = self._records.get(pk)
@@ -92,6 +97,8 @@ class Table:
             raise DuplicateKeyError(
                 f"duplicate primary key {pk!r} in table {self.name!r}"
             )
+        for index in self.indexes.values():
+            index.check_insert(index.key_of(validated))
         if existing is not None:
             existing.install(validated, tid)
             record = existing
@@ -105,14 +112,22 @@ class Table:
 
     def install_update(self, record: VersionedRecord,
                        new_value: Mapping[str, Any], tid: int) -> None:
-        """Replace a record's committed image, maintaining indexes."""
+        """Replace a record's committed image, maintaining indexes.
+
+        All-or-nothing, like :meth:`install_insert`: unique-index
+        violations are detected before any index is touched.
+        """
         validated = self.schema.validate_row(new_value)
+        rekeyed = []
         for index in self.indexes.values():
             old_key = index.key_of(record.value)
             new_key = index.key_of(validated)
             if old_key != new_key:
-                index.remove(old_key, record.key)
-                index.insert(new_key, record.key)
+                index.check_insert(new_key)
+                rekeyed.append((index, old_key, new_key))
+        for index, old_key, new_key in rekeyed:
+            index.remove(old_key, record.key)
+            index.insert(new_key, record.key)
         record.install(validated, tid)
 
     def install_delete(self, record: VersionedRecord, tid: int) -> None:
@@ -136,6 +151,17 @@ class Table:
             record.deleted = True
             self._records[pk] = record
         return record
+
+    def discard_placeholder(self, record: VersionedRecord) -> None:
+        """Drop a never-revived insert placeholder (abort cleanup).
+
+        Only a pristine placeholder (still a tombstone, TID 0 — never
+        installed over, never a committed row) is removed; anything
+        else is live state or a real tombstone and stays.
+        """
+        existing = self._records.get(record.key)
+        if existing is record and record.deleted and record.tid == 0:
+            del self._records[record.key]
 
     # ------------------------------------------------------------------
     # Non-transactional bulk loading (benchmark setup only).

@@ -1,7 +1,9 @@
 """Database containers.
 
 A container (paper Section 3.1) abstracts a portion of a machine with
-its own storage and transactional consistency mechanism.  Containers
+its own storage and transactional consistency mechanism — the
+deployment-selected concurrency-control scheme (OCC, 2PL, or
+passthrough; see :mod:`repro.concurrency.base`).  Containers
 are isolated: they never share data, and each owns disjoint compute
 resources (transaction executors).  Reactors map to exactly one
 container; within it, they are either served by any executor
@@ -12,7 +14,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from repro.concurrency.occ import ConcurrencyManager
+from repro.concurrency.base import ConcurrencyControl
 from repro.runtime.executor import TransactionExecutor
 
 
@@ -20,7 +22,7 @@ class Container:
     """One shared-memory region plus its transaction executors."""
 
     def __init__(self, container_id: int, database: Any,
-                 concurrency: ConcurrencyManager) -> None:
+                 concurrency: ConcurrencyControl) -> None:
         self.container_id = container_id
         self.database = database
         self.concurrency = concurrency

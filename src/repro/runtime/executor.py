@@ -33,6 +33,7 @@ from typing import Any, Callable
 
 from repro.concurrency.coordinator import TwoPhaseCommit
 from repro.errors import (
+    CCAbort,
     DangerousStructureAbort,
     ReactorError,
     SimulationError,
@@ -533,11 +534,12 @@ class TransactionExecutor:
     def _commit_root(self, task: Task, result: Any) -> None:
         root = task.root
         participants = root.participants()
-        reads = root.total_reads()
-        writes = root.total_writes()
-        cost = (self.costs.occ_commit_base
-                + self.costs.occ_validate_per_read * reads
-                + self.costs.occ_install_per_write * writes)
+        # The container's CC manager prices the commit phase.  Every
+        # built-in scheme currently uses the same footprint-shaped
+        # formula (see the pricing note in repro.concurrency.locking),
+        # but the hook lets a scheme price its commit differently.
+        cost = self.container.concurrency.commit_cost(
+            self.costs, root.total_reads(), root.total_writes())
         if len(participants) > 1:
             cost += self.costs.tpc_prepare_per_container * \
                 len(participants)
@@ -560,10 +562,20 @@ class TransactionExecutor:
 
     def _abort_root(self, task: Task, abort: TransactionAbort) -> None:
         root = task.root
-        root.user_abort = not isinstance(abort, DangerousStructureAbort)
+        root.user_abort = not isinstance(
+            abort, (DangerousStructureAbort, CCAbort))
         participants = root.participants()
         if participants:
-            TwoPhaseCommit(participants).abort()
+            # CC-initiated aborts (lock conflicts, wounds...) were
+            # already counted at their raise site; attribute only
+            # application/safety aborts here.
+            if isinstance(abort, CCAbort):
+                reason = None
+            elif isinstance(abort, DangerousStructureAbort):
+                reason = "dangerous_structure"
+            else:
+                reason = "user"
+            TwoPhaseCommit(participants).abort(reason)
         self._busy(task, self.costs.abort_cost, "commit",
                    lambda: self._complete_root(
                        task, False, str(abort), None))

@@ -1,7 +1,7 @@
 """Root-transaction bookkeeping.
 
 A :class:`RootTransaction` tracks everything the runtime needs about
-one top-level procedure invocation: per-container OCC sessions,
+one top-level procedure invocation: per-container CC sessions,
 sub-transaction numbering, cache-warmth of touched reactors, the
 latency breakdown by cost-model category, and the commit outcome.
 
@@ -22,7 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.concurrency.occ import ConcurrencyManager, OCCSession
+from repro.concurrency.base import CCSession, ConcurrencyControl
 
 CATEGORIES = (
     "sync_execution",
@@ -65,6 +65,7 @@ class RootTransaction:
         "sessions", "_subtxn_counter", "touched_reactors",
         "breakdown", "remote_calls", "on_complete", "finished",
         "user_abort", "client_worker", "effect_seq", "commit_tid",
+        "doomed",
     )
 
     def __init__(self, txn_id: int, procedure: str, reactor_name: str,
@@ -76,7 +77,7 @@ class RootTransaction:
         self.reactor_name = reactor_name
         self.start_time = start_time
         #: container id -> (manager, session)
-        self.sessions: dict[int, tuple[ConcurrencyManager, OCCSession]] = {}
+        self.sessions: dict[int, tuple[ConcurrencyControl, CCSession]] = {}
         self._subtxn_counter = 0
         #: reactor name -> data-operation cost multiplier fixed at the
         #: transaction's first touch (cache-affinity model: 1.0 warm,
@@ -87,6 +88,9 @@ class RootTransaction:
         self.on_complete = on_complete
         self.finished = False
         self.user_abort = False
+        #: Set when a CC scheme condemned this transaction in *any*
+        #: container (2PL wound): its sessions everywhere observe it.
+        self.doomed = False
         self.commit_tid = 0
         self.client_worker: Any = None
         #: Monotonic effect counter of the root task; used to classify
@@ -97,17 +101,18 @@ class RootTransaction:
         self._subtxn_counter += 1
         return self._subtxn_counter
 
-    def session_for(self, container: Any) -> OCCSession:
-        """The OCC session in ``container``, created on first touch."""
+    def session_for(self, container: Any) -> CCSession:
+        """The CC session in ``container``, created on first touch."""
         entry = self.sessions.get(container.container_id)
         if entry is None:
             manager = container.concurrency
             session = manager.begin_session(self.txn_id)
+            session.owner = self
             self.sessions[container.container_id] = (manager, session)
             return session
         return entry[1]
 
-    def participants(self) -> list[tuple[ConcurrencyManager, OCCSession]]:
+    def participants(self) -> list[tuple[ConcurrencyControl, CCSession]]:
         return [self.sessions[cid] for cid in sorted(self.sessions)]
 
     def charge(self, category: str, micros: float) -> None:

@@ -24,19 +24,24 @@ from repro.sim.clock import VirtualClock
 class Event:
     """A scheduled callback; cancellable."""
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_scheduler")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any],
-                 args: tuple) -> None:
+                 args: tuple,
+                 scheduler: "SimScheduler | None" = None) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._scheduler = scheduler
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._scheduler is not None:
+                self._scheduler._on_cancel(self)
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -55,6 +60,9 @@ class SimScheduler:
         self._seq = 0
         self._dispatched = 0
         self._running = False
+        #: Live (non-cancelled, not-yet-dispatched) events; kept in
+        #: sync on push/pop/cancel so :meth:`pending` is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -74,10 +82,15 @@ class SimScheduler:
                 f"cannot schedule in the past: now={self.clock.now}, "
                 f"requested={timestamp}"
             )
-        event = Event(max(timestamp, self.clock.now), self._seq, fn, args)
+        event = Event(max(timestamp, self.clock.now), self._seq, fn,
+                      args, scheduler=self)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        self._live += 1
         return event
+
+    def _on_cancel(self, event: Event) -> None:
+        self._live -= 1
 
     def after(self, delay: float, fn: Callable[..., Any],
               *args: Any) -> Event:
@@ -107,11 +120,16 @@ class SimScheduler:
             while self._queue:
                 event = self._queue[0]
                 if event.cancelled:
+                    # Already uncounted at cancel(); just drop it.
                     heapq.heappop(self._queue)
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._queue)
+                self._live -= 1
+                # A cancel() arriving after dispatch must not touch the
+                # live counter again.
+                event._scheduler = None
                 self.clock.advance_to(event.time)
                 event.fn(*event.args)
                 self._dispatched += 1
@@ -127,5 +145,10 @@ class SimScheduler:
             self._running = False
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on push/pop/cancel, not a scan of
+        the heap (cancelled entries stay queued until popped, so a
+        scan would also walk dead events).
+        """
+        return self._live

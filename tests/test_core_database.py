@@ -169,3 +169,62 @@ class TestObservability:
         counts = bank_sn.abort_counts()
         assert counts["validations"] >= 1
         assert counts["validation_failures"] == 0
+
+    def test_abort_counts_per_reason_breakdown(self, bank_sn):
+        with pytest.raises(TransactionAbort):
+            bank_sn.run("acct0", "credit", -1000.0)  # user abort
+        counts = bank_sn.abort_counts()
+        assert counts["scheme"] == "occ"
+        assert counts["by_reason"]["user"] == 1
+        assert counts["by_reason"]["validation_failure"] == 0
+        assert counts["total_aborts"] == 1
+
+    def test_abort_counts_under_2pl(self):
+        database = make_bank(shared_nothing(3, cc_scheme="2pl_nowait"))
+        database.run("acct0", "transfer", "acct5", 1.0)
+        counts = database.abort_counts()
+        assert counts["scheme"] == "2pl_nowait"
+        assert counts["validations"] >= 1
+        assert set(counts["by_reason"]) >= {
+            "validation_failure", "lock_conflict",
+            "deadlock_avoidance", "wound", "user"}
+
+
+class TestRootRouting:
+    def _executors_used(self, database, n_txns=6):
+        seen = []
+        reactor = database.reactor("acct0")
+        for __ in range(n_txns):
+            seen.append(database._route_root(reactor).executor_id)
+        return seen
+
+    def test_round_robin_rotates_executors(self):
+        from repro.core.deployment import (
+            shared_everything_without_affinity,
+        )
+
+        database = make_bank(shared_everything_without_affinity(3))
+        assert self._executors_used(database) == [0, 1, 2, 0, 1, 2]
+
+    def test_affinity_routes_to_fixed_executor(self):
+        from repro.core.deployment import (
+            shared_everything_with_affinity,
+        )
+
+        database = make_bank(shared_everything_with_affinity(3))
+        assert len(set(self._executors_used(database))) == 1
+        # Different reactors spread over executors, but each sticks.
+        reactor1 = database.reactor("acct1")
+        targets = {database._route_root(reactor1).executor_id
+                   for __ in range(4)}
+        assert len(targets) == 1
+
+    def test_round_robin_counter_is_database_wide(self):
+        from repro.core.deployment import (
+            shared_everything_without_affinity,
+        )
+
+        database = make_bank(shared_everything_without_affinity(2))
+        a = database._route_root(database.reactor("acct0")).executor_id
+        b = database._route_root(database.reactor("acct1")).executor_id
+        assert [a, b] == [0, 1]

@@ -125,6 +125,35 @@ class TestSerialization:
         assert config.routing == AFFINITY
         assert config.machine is XEON_E3_1276
         assert config.cc_enabled
+        assert config.cc_scheme == "occ"
+
+    @pytest.mark.parametrize(
+        "scheme", ["occ", "2pl_nowait", "2pl_waitdie", "none"])
+    def test_cc_scheme_round_trips(self, scheme):
+        config = shared_nothing(3, mpl=2, cc_scheme=scheme)
+        via_dict = DeploymentConfig.from_dict(config.to_dict())
+        assert via_dict.cc_scheme == scheme
+        assert via_dict.to_dict() == config.to_dict()
+        via_json = DeploymentConfig.from_json(config.to_json())
+        assert via_json.cc_scheme == scheme
+        assert via_json.cc_enabled == (scheme != "none")
+
+    def test_legacy_cc_enabled_dict_still_loads(self):
+        data = shared_nothing(2).to_dict()
+        del data["cc_scheme"]
+        data["cc_enabled"] = False
+        assert DeploymentConfig.from_dict(data).cc_scheme == "none"
+        data["cc_enabled"] = True
+        assert DeploymentConfig.from_dict(data).cc_scheme == "occ"
+
+    def test_unknown_cc_scheme_rejected(self):
+        with pytest.raises(DeploymentError):
+            shared_nothing(2, cc_scheme="psychic")
+
+    def test_factories_accept_legacy_cc_enabled(self):
+        assert shared_nothing(2, cc_enabled=False).cc_scheme == "none"
+        assert shared_everything_with_affinity(
+            2, cc_enabled=True).cc_scheme == "occ"
 
     def test_architecture_change_is_config_only(self):
         """The paper's claim: architecture changes are config edits."""
