@@ -9,13 +9,24 @@ Benchmarks use *scaled-down* parameters (fewer epochs, shorter
 measurement windows, smaller tables) to keep the whole suite's
 wall-clock time reasonable; every experiment module accepts the
 paper-scale parameters for full runs.
+
+Machine-readable output: :func:`emit_json` writes a
+``BENCH_<name>.json`` file next to the text report so CI jobs and
+downstream tooling can consume results without parsing tables;
+benchmarks that run as scripts gate it behind a ``--json`` flag via
+:func:`json_enabled` (the ``BENCH_JSON=1`` environment variable works
+too).
 """
 
 from __future__ import annotations
 
 import contextlib
 import io
+import json
+import os
+import sys
 from pathlib import Path
+from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,3 +41,34 @@ def emit_report(name: str, report_fn, *args) -> str:
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     return text
+
+
+def json_enabled(argv: list[str] | None = None) -> bool:
+    """Did the caller ask for machine-readable output?"""
+    argv = sys.argv if argv is None else argv
+    env = os.environ.get("BENCH_JSON", "").strip().lower()
+    return "--json" in argv or env not in ("", "0", "false", "no")
+
+
+def emit_json(name: str, payload: Any) -> Path:
+    """Persist ``payload`` as ``benchmarks/results/BENCH_<name>.json``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                    + "\n")
+    return path
+
+
+def summary_payload(summary) -> dict[str, Any]:
+    """The machine-readable core of one RunSummary (throughput,
+    aborts, latency percentiles)."""
+    return {
+        "committed": summary.committed,
+        "aborted": summary.aborted,
+        "abort_rate": round(summary.abort_rate, 6),
+        "throughput_tps": round(summary.throughput_tps, 3),
+        "throughput_std": round(summary.throughput_std, 3),
+        "latency_us": round(summary.latency_us, 3),
+        "p50_us": round(summary.p50_us, 3),
+        "p99_us": round(summary.p99_us, 3),
+    }

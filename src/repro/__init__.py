@@ -38,6 +38,7 @@ from repro.core import (
     shared_nothing,
 )
 from repro.errors import ReactorError, TransactionAbort, UserAbort
+from repro.replication import ReplicationConfig
 from repro.sim import OPTERON_6274, XEON_E3_1276
 
 __version__ = "1.0.0"
@@ -47,6 +48,7 @@ __all__ = [
     "ReactorDatabase",
     "ReactorContext",
     "DeploymentConfig",
+    "ReplicationConfig",
     "shared_everything_without_affinity",
     "shared_everything_with_affinity",
     "shared_nothing",

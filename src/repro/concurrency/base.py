@@ -45,6 +45,7 @@ from repro.errors import (
     DuplicateKeyError,
     QueryError,
     RecordNotFound,
+    UserAbort,
 )
 from repro.concurrency.tid import EpochManager, TidGenerator
 from repro.relational.index import HashIndex, OrderedIndex
@@ -172,6 +173,21 @@ class CCSession:
     def _begin_op(self) -> None:
         """Runs before every public data operation (2PL: wound check)."""
 
+    def _check_writable(self) -> None:
+        """Refuse writes of read-only root transactions.
+
+        A root marked read-only may have been routed to a read replica
+        (see :mod:`repro.replication`); its writes must abort rather
+        than mutate replica state — and for symmetry the same contract
+        holds when it ran on the primary.
+        """
+        if self.owner is not None and \
+                getattr(self.owner, "read_only", False):
+            raise UserAbort(
+                f"read-only transaction {self.txn_id} attempted a "
+                "write"
+            )
+
     def _register_read(self, record: VersionedRecord) -> None:
         """A committed record joined the read footprint."""
         key = id(record)
@@ -233,6 +249,7 @@ class CCSession:
         """Buffer an insert; duplicate keys visible to this transaction
         raise immediately (concurrent duplicates surface at commit)."""
         self._begin_op()
+        self._check_writable()
         validated = table.schema.validate_row(row)
         pk = table.schema.primary_key_of(validated)
         intent = self._intent_for(table, pk)
@@ -256,6 +273,7 @@ class CCSession:
                assignments: Mapping[str, Any]) -> tuple[Row, int]:
         """Read-modify-write one row; returns (new image, examined)."""
         self._begin_op()
+        self._check_writable()
         table.schema.validate_assignments(assignments)
         current, examined = self.read(table, pk)
         if current is None:
@@ -279,6 +297,7 @@ class CCSession:
     def delete(self, table: Table, pk: tuple) -> int:
         """Buffer a delete; returns records examined."""
         self._begin_op()
+        self._check_writable()
         intent = self._intent_for(table, pk)
         if intent is not None:
             if intent.kind == INSERT:
@@ -465,6 +484,10 @@ class ConcurrencyControl:
         #: Optional redo log (see repro.durability): when set, every
         #: installed write is logged with its commit TID.
         self.redo_log: Any = None
+        #: Set when this manager's container failed (replication
+        #: failover): sessions created here must abort at commit —
+        #: their writes would land in dead storage.
+        self.failed = False
 
     # -- legacy counter aliases (pre-refactor API) ----------------------
 

@@ -56,6 +56,11 @@ class ReactorDatabase:
         #: Optional operation-level history capture for
         #: serializability audits (see repro.formal.audit).
         self.history_recorder: Any = None
+        #: Durability manager once enable_durability() ran (replication
+        #: enables it implicitly).
+        self.durability: Any = None
+        #: Replication manager when the deployment asks for replicas.
+        self.replication: Any = None
         self._build(reactors)
 
     # ------------------------------------------------------------------
@@ -106,6 +111,12 @@ class ReactorDatabase:
                 reactor.pinned_executor = executor
             self._reactors[name] = reactor
 
+        if deployment.replication.enabled:
+            from repro.replication.manager import ReplicationManager
+
+            self.replication = ReplicationManager(
+                self, deployment.replication)
+
     # ------------------------------------------------------------------
     # Registry
     # ------------------------------------------------------------------
@@ -130,13 +141,27 @@ class ReactorDatabase:
 
     def submit(self, reactor_name: str, proc_name: str, *args: Any,
                on_done: Callable[..., None] | None = None,
+               read_only: bool | None = None,
                **kwargs: Any) -> RootTransaction:
         """Send a root transaction into the system (asynchronous).
 
         ``on_done(root, committed, reason, result)`` fires (in virtual
         time) when the transaction completes.
+
+        ``read_only`` marks the root as read-only (writes abort); when
+        omitted it is inferred from the procedure's declaration
+        (``@rtype.procedure(read_only=True)``).  Under a deployment
+        with ``read_from_replicas``, read-only roots are routed to a
+        replica of their home container — bounded-staleness reads on
+        separate simulated cores.
         """
         reactor = self.reactor(reactor_name)
+        if read_only is None:
+            read_only = reactor.rtype.is_read_only(proc_name)
+        if read_only and self.replication is not None:
+            shadow = self.replication.route_read(reactor)
+            if shadow is not None:
+                reactor = shadow
         self._txn_counter += 1
         root = RootTransaction(
             txn_id=self._txn_counter,
@@ -144,8 +169,21 @@ class ReactorDatabase:
             reactor_name=reactor_name,
             start_time=self.scheduler.now,
         )
+        root.read_only = bool(read_only)
         invocation = Invocation(root, reactor, proc_name, args, kwargs,
                                 subtxn_id=0, on_root_done=on_done)
+        if reactor.container.failed:
+            # Failed primary with no promoted replacement yet: refuse
+            # immediately rather than queueing on a dead executor.
+            root.finished = True
+            if self.replication is not None:
+                self.replication.stats.failover_aborts += 1
+            if on_done is not None:
+                self.scheduler.soon(
+                    on_done, root, False,
+                    f"container {reactor.container.container_id} "
+                    "failed", None)
+            return root
         self._route_root(reactor).submit(invocation)
         return root
 
@@ -192,13 +230,25 @@ class ReactorDatabase:
 
     def load(self, reactor_name: str, table_name: str,
              rows: Iterable[Mapping[str, Any]]) -> int:
-        """Load rows without concurrency control (benchmark setup)."""
+        """Load rows without concurrency control (benchmark setup).
+
+        Bulk loads bypass the redo log, so under replication they are
+        mirrored to the reactor's replicas directly.
+        """
         table = self.reactor(reactor_name).table(table_name)
-        count = 0
-        for row in rows:
+        if self.replication is None:
+            count = 0
+            for row in rows:
+                table.load_row(row)
+                count += 1
+            return count
+        loaded = [dict(row) for row in rows]
+        for row in loaded:
             table.load_row(row)
-            count += 1
-        return count
+        if loaded:
+            self.replication.on_bulk_load(reactor_name, table_name,
+                                          loaded)
+        return len(loaded)
 
     def table_rows(self, reactor_name: str,
                    table_name: str) -> list[dict[str, Any]]:
@@ -228,14 +278,31 @@ class ReactorDatabase:
         merged = CCStats()
         for container in self.containers:
             merged.merge(container.concurrency.stats)
+        if self.replication is not None:
+            # Read-only roots served on replicas validate (and can
+            # abort) there; their counters must not vanish from the
+            # database-wide view.
+            for group in self.replication.replicas.values():
+                for replica in group:
+                    merged.merge(replica.concurrency.stats)
         by_reason = merged.abort_reasons()
-        return {
+        out = {
             "scheme": self.deployment.cc_scheme,
             "validations": merged.validations,
             "validation_failures": merged.validation_failures,
             "by_reason": by_reason,
             "total_aborts": sum(by_reason.values()),
         }
+        if self.replication is not None:
+            out["replication"] = self.replication.stats_dict()
+        return out
+
+    def replication_stats(self) -> dict[str, Any]:
+        """Replication lag / ack / failover metrics (empty when the
+        deployment runs single-copy)."""
+        if self.replication is None:
+            return {"mode": "none", "replicas_per_container": 0}
+        return self.replication.stats_dict()
 
 
 __all__ = ["ReactorDatabase", "RootTransaction", "TxnStats"]

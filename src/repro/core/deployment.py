@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import DeploymentError
+from repro.replication.config import NO_REPLICATION, ReplicationConfig
 from repro.sim.machine import (
     XEON_E3_1276,
     MachineProfile,
@@ -136,6 +137,13 @@ class DeploymentConfig:
     ``"2pl_nowait"`` / ``"2pl_waitdie"`` (two-phase locking), or
     ``"none"`` (no concurrency control) — making isolation, like
     architecture, a config edit rather than an application change.
+
+    ``replication`` extends the same claim to availability: a
+    :class:`~repro.replication.config.ReplicationConfig` decides how
+    many log-shipping replicas each container gets, whether commits
+    wait for replica acks (``sync``) or apply in the background
+    (``async``), and whether read-only root transactions are served
+    from replicas — again a config edit only.
     """
 
     name: str
@@ -145,6 +153,7 @@ class DeploymentConfig:
     machine: MachineProfile = field(default_factory=lambda: XEON_E3_1276)
     placement: Placement = field(default_factory=Placement)
     cc_scheme: str = "occ"
+    replication: ReplicationConfig = NO_REPLICATION
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -165,6 +174,15 @@ class DeploymentConfig:
                 f"unknown cc_scheme {self.cc_scheme!r}; expected one "
                 f"of {', '.join(cc_scheme_names())}"
             )
+        if self.replication.read_from_replicas and \
+                self.cc_scheme != "occ":
+            raise DeploymentError(
+                "read_from_replicas requires cc_scheme 'occ': replica "
+                "log applies install directly (no locks), and only "
+                "OCC validation detects a read that overlapped an "
+                "apply — under 2PL or 'none' a replica read could "
+                "commit a torn snapshot"
+            )
 
     @property
     def total_executors(self) -> int:
@@ -176,6 +194,13 @@ class DeploymentConfig:
         return self.cc_scheme != "none"
 
     # -- serialization --------------------------------------------------
+
+    #: Every key ``from_dict`` understands; anything else is a typo an
+    #: infrastructure engineer should hear about, not a silent no-op.
+    KNOWN_KEYS = frozenset({
+        "name", "machine", "containers", "routing", "pin_reactors",
+        "placement", "cc_scheme", "cc_enabled", "replication",
+    })
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -189,10 +214,17 @@ class DeploymentConfig:
             "pin_reactors": self.pin_reactors,
             "placement": self.placement.to_dict(),
             "cc_scheme": self.cc_scheme,
+            "replication": self.replication.to_dict(),
         }
 
     @staticmethod
     def from_dict(data: dict[str, Any]) -> "DeploymentConfig":
+        for key in data:
+            if key not in DeploymentConfig.KNOWN_KEYS:
+                raise DeploymentError(
+                    f"unknown deployment key {key!r}; expected one of "
+                    f"{', '.join(sorted(DeploymentConfig.KNOWN_KEYS))}"
+                )
         scheme = data.get("cc_scheme")
         if scheme is None:
             # Legacy configs carried a bool instead of a scheme name.
@@ -210,6 +242,8 @@ class DeploymentConfig:
             placement=Placement.from_dict(
                 data.get("placement", {"kind": "modulo"})),
             cc_scheme=scheme,
+            replication=ReplicationConfig.from_dict(
+                data.get("replication", {})),
         )
 
     def to_json(self) -> str:
@@ -235,7 +269,9 @@ def shared_everything_without_affinity(
         n_executors: int, machine: MachineProfile = XEON_E3_1276,
         placement: Placement | None = None,
         cc_scheme: str = "occ",
-        cc_enabled: bool | None = None) -> DeploymentConfig:
+        cc_enabled: bool | None = None,
+        replication: ReplicationConfig | None = None
+        ) -> DeploymentConfig:
     """S1: one container, round-robin load balancing, MPL 1."""
     return DeploymentConfig(
         name="shared-everything-without-affinity",
@@ -245,6 +281,7 @@ def shared_everything_without_affinity(
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        replication=replication or NO_REPLICATION,
     )
 
 
@@ -252,7 +289,9 @@ def shared_everything_with_affinity(
         n_executors: int, machine: MachineProfile = XEON_E3_1276,
         placement: Placement | None = None,
         cc_scheme: str = "occ",
-        cc_enabled: bool | None = None) -> DeploymentConfig:
+        cc_enabled: bool | None = None,
+        replication: ReplicationConfig | None = None
+        ) -> DeploymentConfig:
     """S2: one container, affinity routing, MPL 1 (Silo-like setup)."""
     return DeploymentConfig(
         name="shared-everything-with-affinity",
@@ -262,6 +301,7 @@ def shared_everything_with_affinity(
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        replication=replication or NO_REPLICATION,
     )
 
 
@@ -269,7 +309,9 @@ def shared_nothing(n_containers: int,
                    machine: MachineProfile = XEON_E3_1276,
                    mpl: int = 4, placement: Placement | None = None,
                    cc_scheme: str = "occ",
-                   cc_enabled: bool | None = None) -> DeploymentConfig:
+                   cc_enabled: bool | None = None,
+                   replication: ReplicationConfig | None = None
+                   ) -> DeploymentConfig:
     """S3: one executor per container, reactors pinned.
 
     The ``-sync`` / ``-async`` variants of the paper differ only in how
@@ -286,4 +328,5 @@ def shared_nothing(n_containers: int,
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        replication=replication or NO_REPLICATION,
     )

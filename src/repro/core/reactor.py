@@ -40,20 +40,36 @@ class ReactorType:
         self.name = name
         self.schema_fn = schema_fn
         self.procedures: dict[str, Procedure] = {}
+        #: Procedures declared read-only: their root transactions are
+        #: eligible for read-replica routing (repro.replication) and
+        #: the runtime refuses their writes.
+        self.read_only_procedures: set[str] = set()
 
-    def procedure(self, fn: Procedure) -> Procedure:
+    def procedure(self, fn: Procedure | None = None, *,
+                  read_only: bool = False):
         """Register ``fn`` as a procedure of this reactor type.
 
-        Usable as a decorator; the function keeps working as a plain
-        Python callable for unit testing.
+        Usable bare (``@rtype.procedure``) or with options
+        (``@rtype.procedure(read_only=True)``); the function keeps
+        working as a plain Python callable for unit testing.
         """
-        if fn.__name__ in self.procedures:
-            raise ReactorError(
-                f"procedure {fn.__name__!r} already registered on "
-                f"reactor type {self.name!r}"
-            )
-        self.procedures[fn.__name__] = fn
-        return fn
+        def register(func: Procedure) -> Procedure:
+            if func.__name__ in self.procedures:
+                raise ReactorError(
+                    f"procedure {func.__name__!r} already registered "
+                    f"on reactor type {self.name!r}"
+                )
+            self.procedures[func.__name__] = func
+            if read_only:
+                self.read_only_procedures.add(func.__name__)
+            return func
+
+        if fn is not None:
+            return register(fn)
+        return register
+
+    def is_read_only(self, name: str) -> bool:
+        return name in self.read_only_procedures
 
     def get_procedure(self, name: str) -> Procedure:
         try:

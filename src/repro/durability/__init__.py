@@ -23,6 +23,7 @@ from repro.durability.wal import (
     RedoEntry,
     RedoLog,
     RedoRecord,
+    apply_record_to,
 )
 
 __all__ = [
@@ -37,4 +38,5 @@ __all__ = [
     "DurabilityManager",
     "enable_durability",
     "recover",
+    "apply_record_to",
 ]

@@ -15,7 +15,7 @@ from typing import Any, Iterable, Sequence
 from repro.core.database import ReactorDatabase
 from repro.core.deployment import DeploymentConfig
 from repro.durability.checkpoint import Checkpoint
-from repro.durability.wal import DELETE, INSERT, RedoLog
+from repro.durability.wal import RedoLog, apply_record_to
 
 
 class DurabilityManager:
@@ -46,8 +46,19 @@ class DurabilityManager:
 
 
 def enable_durability(database: Any) -> DurabilityManager:
-    """Attach redo logging to a database (idempotent per database)."""
-    return DurabilityManager(database)
+    """Attach redo logging to a database (idempotent per database).
+
+    A second call returns the existing manager instead of replacing the
+    containers' logs — replication enables durability implicitly, and an
+    application calling :func:`enable_durability` afterwards must not
+    detach the logs the replication manager is shipping from.
+    """
+    existing = getattr(database, "durability", None)
+    if existing is not None:
+        return existing
+    manager = DurabilityManager(database)
+    database.durability = manager
+    return manager
 
 
 def recover(deployment: DeploymentConfig,
@@ -78,28 +89,13 @@ def recover(deployment: DeploymentConfig,
                 pending.append(record)
     pending.sort(key=lambda record: record.commit_tid)
 
+    def table_for(reactor_name: str, table_name: str):
+        return database.reactor(reactor_name).table(table_name)
+
     max_tid = 0
     for record in pending:
         max_tid = max(max_tid, record.commit_tid)
-        for entry in record.entries:
-            table = database.reactor(entry.reactor).table(entry.table)
-            existing = table.get_record(entry.pk)
-            if entry.kind == DELETE:
-                if existing is not None:
-                    table.install_delete(existing, record.commit_tid)
-            elif entry.kind == INSERT and existing is None:
-                assert entry.row is not None
-                table.install_insert(entry.row, record.commit_tid)
-            else:
-                # UPDATE, or an INSERT whose key already exists
-                # (replay over a newer checkpoint): install the
-                # after-image.
-                assert entry.row is not None
-                if existing is None:
-                    table.install_insert(entry.row, record.commit_tid)
-                else:
-                    table.install_update(existing, entry.row,
-                                         record.commit_tid)
+        apply_record_to(table_for, record)
 
     # Restore TID watermarks so post-recovery commits continue above
     # everything replayed.
@@ -108,4 +104,17 @@ def recover(deployment: DeploymentConfig,
             checkpoint.tid_watermarks.get(container.container_id, 0),
             max_tid)
         container.concurrency.tids.advance_to(watermark)
+
+    # A replication-enabled target deployment: seed the replicas with
+    # the recovered state (checkpoint restore and replay wrote primary
+    # tables directly, bypassing the bulk-load mirror).  The recovered
+    # image is the replicas' new base; subsequent commits ship on top.
+    if database.replication is not None:
+        for name in database.reactor_names():
+            reactor = database.reactor(name)
+            for table in reactor.catalog:
+                table_rows = table.rows()
+                if table_rows:
+                    database.replication.on_bulk_load(
+                        name, table.name, table_rows)
     return database

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 INSERT = "insert"
 UPDATE = "update"
@@ -78,17 +78,27 @@ class RedoRecord:
 
 
 class RedoLog:
-    """Per-container append-only redo log."""
+    """Per-container append-only redo log.
+
+    ``listener`` (when set) observes every appended record — the
+    log-shipping hook of :mod:`repro.replication`.  It fires at append
+    time only; bulk-restored records (recovery, promotion seeding) are
+    assigned to ``records`` directly and are not re-shipped.
+    """
 
     def __init__(self, container_id: int) -> None:
         self.container_id = container_id
         self.records: list[RedoRecord] = []
+        self.listener: Callable[[RedoRecord], None] | None = None
 
     def append(self, commit_tid: int,
                entries: Iterable[RedoEntry]) -> None:
         entries = tuple(entries)
         if entries:
-            self.records.append(RedoRecord(commit_tid, entries))
+            record = RedoRecord(commit_tid, entries)
+            self.records.append(record)
+            if self.listener is not None:
+                self.listener(record)
 
     def truncate_through(self, tid: int) -> int:
         """Drop records with commit TID <= ``tid`` (post-checkpoint
@@ -114,3 +124,33 @@ class RedoLog:
 
     def __len__(self) -> int:
         return len(self.records)
+
+
+def apply_record_to(table_for: Callable[[str, str], Any],
+                    record: RedoRecord) -> None:
+    """Apply one redo record's after-images to live tables.
+
+    ``table_for(reactor_name, table_name)`` resolves the target table.
+    Application is idempotent on after-images: an INSERT whose key
+    already exists installs the image as an update (replay over a newer
+    checkpoint / replica re-ship), a DELETE of a missing key is a
+    no-op.  Shared by crash recovery and replica log apply.
+    """
+    for entry in record.entries:
+        table = table_for(entry.reactor, entry.table)
+        existing = table.get_record(entry.pk)
+        if entry.kind == DELETE:
+            if existing is not None:
+                table.install_delete(existing, record.commit_tid)
+        elif entry.kind == INSERT and existing is None:
+            assert entry.row is not None
+            table.install_insert(entry.row, record.commit_tid)
+        else:
+            # UPDATE, or an INSERT whose key already exists: install
+            # the after-image over whatever is there.
+            assert entry.row is not None
+            if existing is None:
+                table.install_insert(entry.row, record.commit_tid)
+            else:
+                table.install_update(existing, entry.row,
+                                     record.commit_tid)

@@ -38,6 +38,10 @@ class DeploymentError(ReactorError):
     """A deployment configuration is invalid or inconsistent."""
 
 
+class ReplicationError(ReactorError):
+    """The replication subsystem was misconfigured or misused."""
+
+
 class SimulationError(ReactorError):
     """The discrete-event simulator detected an internal inconsistency."""
 

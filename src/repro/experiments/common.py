@@ -17,6 +17,7 @@ from repro.core.deployment import (
     shared_everything_without_affinity,
     shared_nothing,
 )
+from repro.replication import ReplicationConfig
 from repro.sim.machine import OPTERON_6274, XEON_E3_1276, MachineProfile
 from repro.workloads import smallbank
 from repro.workloads import tpcc
@@ -76,7 +77,9 @@ def tpcc_deployment(strategy: str, n_executors: int,
                     machine: MachineProfile = OPTERON_6274,
                     mpl: int = 4,
                     cc_scheme: str = "occ",
-                    cc_enabled: bool | None = None) -> DeploymentConfig:
+                    cc_enabled: bool | None = None,
+                    replication: ReplicationConfig | None = None
+                    ) -> DeploymentConfig:
     """A TPC-C deployment per paper strategy name.
 
     ``shared-nothing-sync`` and ``shared-nothing-async`` share the same
@@ -84,20 +87,24 @@ def tpcc_deployment(strategy: str, n_executors: int,
     ``sync_remote`` knob of the workload).  ``cc_scheme`` selects the
     concurrency-control protocol ("occ", "2pl_nowait", "2pl_waitdie",
     "none"); the legacy ``cc_enabled`` bool is accepted as an alias,
-    as in the deployment factories.
+    as in the deployment factories.  ``replication`` adds log-shipping
+    replicas per container (see :mod:`repro.replication`).
     """
     if cc_enabled is not None:
         cc_scheme = cc_scheme if cc_enabled else "none"
     if strategy == "shared-everything-without-affinity":
         return shared_everything_without_affinity(
-            n_executors, machine=machine, cc_scheme=cc_scheme)
+            n_executors, machine=machine, cc_scheme=cc_scheme,
+            replication=replication)
     if strategy == "shared-everything-with-affinity":
         return shared_everything_with_affinity(
-            n_executors, machine=machine, cc_scheme=cc_scheme)
+            n_executors, machine=machine, cc_scheme=cc_scheme,
+            replication=replication)
     if strategy in ("shared-nothing-async", "shared-nothing-sync",
                     "shared-nothing"):
         return shared_nothing(n_executors, machine=machine, mpl=mpl,
-                              cc_scheme=cc_scheme)
+                              cc_scheme=cc_scheme,
+                              replication=replication)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -106,14 +113,17 @@ def tpcc_database(strategy: str, n_warehouses: int,
                   machine: MachineProfile = OPTERON_6274,
                   mpl: int = 4, n_executors: int | None = None,
                   cc_scheme: str = "occ",
-                  cc_enabled: bool | None = None) -> ReactorDatabase:
+                  cc_enabled: bool | None = None,
+                  replication: ReplicationConfig | None = None
+                  ) -> ReactorDatabase:
     """Build and load a TPC-C database under one strategy.
 
     ``n_executors`` defaults to ``n_warehouses`` (the paper configures
     one transaction executor per warehouse)."""
     deployment = tpcc_deployment(
         strategy, n_executors or n_warehouses, machine=machine,
-        mpl=mpl, cc_scheme=cc_scheme, cc_enabled=cc_enabled)
+        mpl=mpl, cc_scheme=cc_scheme, cc_enabled=cc_enabled,
+        replication=replication)
     database = ReactorDatabase(deployment,
                                tpcc.declarations(n_warehouses))
     tpcc.load(database, n_warehouses, scale)

@@ -6,6 +6,12 @@ serialization-graph acyclicity checks under both conflict notions.
 Property-based tests verify the theorem on randomized histories.
 """
 
+from repro.formal.audit import (
+    HistoryRecorder,
+    attach_recorder,
+    certify_replication,
+    detach_recorder,
+)
 from repro.formal.history import ReactorHistory, history_of
 from repro.formal.ops import Op, Terminal, abort, commit, read, write
 from repro.formal.projection import (
@@ -40,4 +46,8 @@ __all__ = [
     "is_serializable_reactor",
     "is_serializable_classic",
     "theorem_2_7_holds",
+    "HistoryRecorder",
+    "attach_recorder",
+    "detach_recorder",
+    "certify_replication",
 ]

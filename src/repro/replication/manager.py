@@ -1,0 +1,507 @@
+"""The replication manager: log shipping, acks, failover, read routing.
+
+Wires the pieces together for one database:
+
+* **shipping** — every container's redo log (durability is enabled
+  implicitly) gets a listener; each appended :class:`RedoRecord` is
+  recorded in the per-container ``shipped`` sequence (the reference
+  commit order the formal audit certifies against) and scheduled to
+  apply on every replica after the simulated ship latency;
+* **ack accounting** — for ``sync`` mode the executor's commit path
+  asks :meth:`on_commit_installed` for the acknowledgement delay and
+  defers root completion (releasing its core) until every replica of
+  every participant container acked;
+* **read-replica routing** — :meth:`route_read` hands read-only root
+  transactions to a replica's shadow reactor, round-robin;
+* **failover** — :meth:`kill_primary` fails a container (queued and
+  in-flight transactions abort, none of them reported committed) and
+  :meth:`promote` re-registers the most advanced replica as the new
+  primary, seeding its redo log with the applied prefix and catching
+  up the remaining replicas.
+
+Replica executors model *other machines*: their simulated cores do not
+count against the primary machine's hardware-thread budget, which is
+exactly why routing reads to replicas adds capacity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.concurrency.base import create_cc_scheme
+from repro.core.reactor import Reactor
+from repro.durability.wal import RedoLog, RedoRecord
+from repro.errors import ReplicationError, TransactionAbort
+from repro.replication.config import ReplicationConfig
+from repro.replication.replica import ROLE_PRIMARY, ReplicaContainer
+
+
+@dataclass
+class FailoverEvent:
+    """One promotion: which replica took over which container when."""
+
+    container_id: int
+    replica_id: int
+    at_us: float
+    applied_records: int
+    #: Acked-but-not-applied commit TIDs at promotion.  Sync mode
+    #: guarantees this is empty (zero committed-transaction loss).
+    lost_acked: list[int] = field(default_factory=list)
+    #: Shipped-but-not-applied records at promotion: the bounded async
+    #: lag-window loss.  Always 0 under sync — the kill drains the
+    #: ship channel into the replicas before they disconnect.
+    lost_records: int = 0
+    #: Commit TIDs of lost records that survive in *another*
+    #: container's shipped order — cross-container transactions whose
+    #: atomicity the failover broke (async only; empty under sync).
+    atomicity_breaks: list[int] = field(default_factory=list)
+
+
+@dataclass
+class ReplicationStats:
+    """Counters the benchmark reports and ``abort_counts()`` exposes."""
+
+    records_shipped: int = 0
+    records_applied: int = 0
+    acked_records: int = 0
+    sync_commit_waits: int = 0
+    sync_ack_wait_us: float = 0.0
+    #: Lag is sampled only on channel-shipped applies — kill-drain and
+    #: promotion catch-up applies have no meaningful ship latency and
+    #: must not deflate the average.
+    lag_samples: int = 0
+    lag_us_sum: float = 0.0
+    max_lag_us: float = 0.0
+    reads_routed_to_replicas: int = 0
+    #: Commits/roots aborted because a participant container failed.
+    failover_aborts: int = 0
+    failovers: list[FailoverEvent] = field(default_factory=list)
+
+    @property
+    def avg_lag_us(self) -> float:
+        if not self.lag_samples:
+            return 0.0
+        return self.lag_us_sum / self.lag_samples
+
+
+class ReplicationManager:
+    """Owns the replicas of one database and drives log shipping."""
+
+    def __init__(self, database: Any, config: ReplicationConfig) -> None:
+        if not config.enabled:
+            raise ReplicationError(
+                "ReplicationManager needs an enabled ReplicationConfig")
+        self.database = database
+        self.config = config
+        self.stats = ReplicationStats()
+        #: container id -> replicas still in the "replica" role.
+        self.replicas: dict[int, list[ReplicaContainer]] = {}
+        #: container id -> full shipped record sequence (the primary's
+        #: commit order; survives checkpoint log truncation).
+        self.shipped: dict[int, list[RedoRecord]] = {}
+        #: container id -> commit TIDs acknowledged by all replicas
+        #: (sync mode only; the zero-loss set the audit checks).
+        self.acked_tids: dict[int, set[int]] = {}
+        #: Records appended during the install phase of the commit
+        #: currently executing (drained by on_commit_installed).
+        self._inflight: list[tuple[int, RedoRecord]] = []
+        #: container id -> shipping epoch; a kill bumps it, so apply
+        #: and ack events scheduled against the dead primary are
+        #: dropped when they fire (the replica "disconnected").
+        self.ship_epoch: dict[int, int] = {}
+        #: container id -> virtual time of the last scheduled apply:
+        #: the ship channel is FIFO, so a small record shipped after a
+        #: large one must not overtake it (applies would otherwise
+        #: land out of commit order and break prefix consistency).
+        self._pipe: dict[int, float] = {}
+        #: container id -> (reactor, table) -> bulk-loaded base rows
+        #: (the replay baseline of the formal replica audit).
+        self.base_rows: dict[int, dict[tuple[str, str],
+                                       list[dict[str, Any]]]] = {}
+        self._read_route: dict[int, int] = {}
+        self._next_replica_id = 0
+
+        # Deferred: durability.recovery imports core.database, which
+        # builds this manager — importing it at module scope would be
+        # circular.
+        from repro.durability.recovery import enable_durability
+
+        self.durability = enable_durability(database)
+        self._build_replicas()
+
+    # ------------------------------------------------------------------
+    # Bootstrap
+    # ------------------------------------------------------------------
+
+    def _build_replicas(self) -> None:
+        database = self.database
+        deployment = database.deployment
+        core_id = database.first_worker_core
+        for cid, container in enumerate(database.containers):
+            self.shipped[cid] = []
+            self.acked_tids[cid] = set()
+            self.replicas[cid] = []
+            self.ship_epoch[cid] = 0
+            self._pipe[cid] = 0.0
+            self.base_rows[cid] = {}
+            self._read_route[cid] = 0
+            log = self.durability.logs[cid]
+            log.listener = self._listener_for(cid)
+            spec = deployment.containers[cid]
+            primaries = [r for r in database._reactors.values()
+                         if r.container is container]
+            for __ in range(self.config.replicas_per_container):
+                concurrency = create_cc_scheme(
+                    deployment.cc_scheme, cid, database.epochs)
+                replica = ReplicaContainer(
+                    self._next_replica_id, container, database,
+                    concurrency)
+                self._next_replica_id += 1
+                for ___ in range(spec.executors):
+                    replica.add_executor(core_id, spec.mpl)
+                    core_id += 1
+                for reactor in primaries:
+                    replica.add_shadow(reactor,
+                                       pin=deployment.pin_reactors)
+                self.replicas[cid].append(replica)
+        database.first_worker_core = core_id
+
+    def _listener_for(self, cid: int):
+        def on_append(record: RedoRecord) -> None:
+            self.shipped[cid].append(record)
+            self.stats.records_shipped += 1
+            if self.replicas.get(cid):
+                self._inflight.append((cid, record))
+        return on_append
+
+    # ------------------------------------------------------------------
+    # Shipping and ack accounting (called from the executor commit path)
+    # ------------------------------------------------------------------
+
+    def on_commit_installed(self) -> float:
+        """Ship the records the just-installed commit appended; return
+        the sync-ack delay the executor must wait before reporting
+        completion (0.0 in async mode or for read-only commits)."""
+        if not self._inflight:
+            return 0.0
+        inflight, self._inflight = self._inflight, []
+        scheduler = self.database.scheduler
+        costs = self.database.costs
+        sync = self.config.mode == "sync"
+        commit_time = scheduler.now
+        ack_delay = 0.0
+        for cid, record in inflight:
+            epoch = self.ship_epoch[cid]
+            apply_delay = (costs.repl_ship_delay
+                           + costs.repl_apply_per_write
+                           * len(record.entries))
+            if not sync:
+                apply_delay += self.config.async_lag_us
+            # FIFO channel: never overtake an earlier ship (equal
+            # times keep insertion order in the scheduler).
+            apply_at = max(commit_time + apply_delay, self._pipe[cid])
+            self._pipe[cid] = apply_at
+            for replica in self.replicas[cid]:
+                scheduler.at(apply_at, self._apply, cid, epoch,
+                             replica, record, commit_time)
+            if sync:
+                ack_at = apply_at + costs.repl_ack_delay
+                ack_delay = max(ack_delay, ack_at - commit_time)
+                scheduler.at(ack_at, self._record_ack, cid, epoch,
+                             record.commit_tid)
+        if sync and ack_delay > 0.0:
+            self.stats.sync_commit_waits += 1
+            self.stats.sync_ack_wait_us += ack_delay
+        return ack_delay
+
+    def _apply(self, cid: int, epoch: int, replica: ReplicaContainer,
+               record: RedoRecord, commit_time: float) -> None:
+        if epoch != self.ship_epoch[cid]:
+            # Shipped by a primary that has since failed: the replica
+            # is disconnected from it; promotion catch-up (or the new
+            # primary's own shipping) is the only legitimate source.
+            return
+        replica.apply_record(record)
+        lag = self.database.scheduler.now - commit_time
+        self.stats.records_applied += 1
+        self.stats.lag_samples += 1
+        self.stats.lag_us_sum += lag
+        if lag > self.stats.max_lag_us:
+            self.stats.max_lag_us = lag
+
+    def _record_ack(self, cid: int, epoch: int,
+                    commit_tid: int) -> None:
+        if epoch != self.ship_epoch[cid]:
+            return
+        self.acked_tids[cid].add(commit_tid)
+        self.stats.acked_records += 1
+
+    def on_bulk_load(self, reactor_name: str, table_name: str,
+                     rows: list[dict[str, Any]]) -> None:
+        """Mirror a non-transactional bulk load to every replica of the
+        loaded reactor's container (loads bypass the redo log)."""
+        reactor = self.database.reactor(reactor_name)
+        cid = reactor.container.container_id
+        base = self.base_rows[cid].setdefault(
+            (reactor_name, table_name), [])
+        # Callers pass fresh row dicts and tables never alias caller
+        # dicts (install copies), so the audit baseline can keep the
+        # rows by reference instead of re-copying the whole dataset.
+        base.extend(rows)
+        for replica in self.replicas.get(cid, []):
+            replica.mirror_load(reactor_name, table_name, rows)
+
+    # ------------------------------------------------------------------
+    # Read-replica routing
+    # ------------------------------------------------------------------
+
+    def route_read(self, reactor: Reactor) -> Reactor | None:
+        """A replica shadow to serve a read-only root on ``reactor``,
+        or ``None`` to keep it on the primary."""
+        if not self.config.read_from_replicas:
+            return None
+        cid = reactor.container.container_id
+        group = self.replicas.get(cid)
+        if not group:
+            return None
+        index = self._read_route[cid] % len(group)
+        self._read_route[cid] += 1
+        shadow = group[index].shadow(reactor.name)
+        if shadow is not None:
+            self.stats.reads_routed_to_replicas += 1
+        return shadow
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+
+    def kill_primary(self, cid: int) -> None:
+        """Fail a primary container mid-run.
+
+        Queued invocations abort immediately; tasks already executing
+        keep consuming virtual time but abort at commit (their
+        concurrency manager is marked failed), so *no* transaction is
+        reported committed after the kill without replica coverage.
+        """
+        container = self.database.containers[cid]
+        container.failed = True
+        container.concurrency.failed = True
+        if self.config.mode == "sync":
+            # Sync semantics: a record enters the (reliable, FIFO)
+            # ship channel at install time, before anything is
+            # reported — the crash cannot destroy channel content, so
+            # replicas drain it before disconnecting.  This is what
+            # makes cross-container commits atomic across failover:
+            # an installed transfer either reaches the replica of
+            # every participant or was never reported committed.
+            for replica in self.replicas.get(cid, []):
+                behind = self.shipped[cid][
+                    len(replica.applied_records):]
+                for record in behind:
+                    replica.apply_record(record)
+                    self.stats.records_applied += 1
+        # Disconnect the replicas: in-flight apply/ack events shipped
+        # by the dead primary are dropped when they fire (they are
+        # duplicates after a sync drain, losses under async), and the
+        # ship channel restarts empty for the next primary.
+        self.ship_epoch[cid] += 1
+        self._pipe[cid] = 0.0
+        scheduler = self.database.scheduler
+        for executor in container.executors:
+            while executor.queue:
+                invocation = executor.queue.popleft()
+                abort = TransactionAbort(
+                    f"container {cid} failed")
+                if invocation.result_future is not None:
+                    invocation.result_future.fail(abort, scheduler.now)
+                else:
+                    invocation.root.finished = True
+                    self.stats.failover_aborts += 1
+                    if invocation.on_root_done is not None:
+                        scheduler.soon(invocation.on_root_done,
+                                       invocation.root, False,
+                                       str(abort), None)
+
+    def promote(self, cid: int) -> ReplicaContainer:
+        """Promote the most advanced replica of container ``cid``.
+
+        The replica's applied log prefix becomes the new primary redo
+        log (so recovery and the audit keep working across the
+        failover), remaining replicas are caught up to that prefix and
+        re-pointed at the new log, and the shadow reactors are
+        re-registered in the database's routing tables.
+        """
+        if not self.database.containers[cid].failed:
+            raise ReplicationError(
+                f"container {cid} is still alive: promoting over a "
+                "serving primary would fork the shipped order (call "
+                "kill_primary first, or kill_and_promote)"
+            )
+        group = self.replicas.get(cid)
+        if not group:
+            raise ReplicationError(
+                f"container {cid} has no replica to promote")
+        target = max(group,
+                     key=lambda r: (len(r.applied_records),
+                                    -r.replica_id))
+        group.remove(target)
+        target.role = ROLE_PRIMARY
+        database = self.database
+        scheduler = database.scheduler
+
+        # Loss accounting against the old primary's shipped order:
+        # sync acks are only recorded after every replica applied (and
+        # the kill drained the channel), so lost_acked and lost_records
+        # are provably empty under sync; under async the lag window is
+        # lost, and any lost record whose commit TID also appears in a
+        # surviving container's order is a broken cross-container
+        # transaction — reported, because it is the inherent atomicity
+        # price of async replication.
+        old_shipped = self.shipped[cid]
+        lost_acked = sorted(self.acked_tids[cid]
+                            - target.applied_tids)
+        lost_suffix = old_shipped[len(target.applied_records):]
+        lost_records = len(lost_suffix)
+        surviving_tids = {
+            record.commit_tid
+            for other_cid, records in self.shipped.items()
+            if other_cid != cid
+            for record in records
+        }
+        atomicity_breaks = sorted(
+            {record.commit_tid for record in lost_suffix}
+            & surviving_tids)
+
+        # Catch the remaining replicas up to the promoted prefix (a
+        # replica is always a prefix of the shipped order, so the
+        # missing records are exactly the promoted suffix).  Applied
+        # synchronously within the promotion event so no stale
+        # in-flight ship can interleave out of order.
+        for sibling in group:
+            behind = target.applied_records[len(sibling.applied_records):]
+            for record in behind:
+                sibling.apply_record(record)
+                self.stats.records_applied += 1
+
+        # The applied prefix *is* the new primary's redo log — the
+        # "replay" of promotion; state was materialized incrementally
+        # as records arrived, the log seed re-anchors durability and
+        # the audit on the survivor.
+        new_log = RedoLog(cid)
+        new_log.records = list(target.applied_records)
+        new_log.listener = self._listener_for(cid)
+        target.concurrency.redo_log = new_log
+        self.durability.logs[cid] = new_log
+        self.shipped[cid] = list(target.applied_records)
+        self.acked_tids[cid] = set(target.applied_tids)
+
+        # Re-register routing: the shadows become the reactors.  The
+        # dead primary's CC counters move to the survivor so
+        # abort_counts() stays monotonic across the failover.  The
+        # promoted executors stay OUT of database.executors — that
+        # list means "primary-machine cores" to the measurement
+        # harness, whose busy-time snapshots would mis-attribute the
+        # replica's pre-promotion work if new cores appeared mid-run.
+        old = database.containers[cid]
+        target.concurrency.stats.merge(old.concurrency.stats)
+        database.containers[cid] = target
+        for name in list(database._reactors):
+            if database._reactors[name].container is old:
+                shadow = target.shadow(name)
+                assert shadow is not None
+                database._reactors[name] = shadow
+
+        self.stats.failovers.append(FailoverEvent(
+            container_id=cid,
+            replica_id=target.replica_id,
+            at_us=scheduler.now,
+            applied_records=len(target.applied_records),
+            lost_acked=lost_acked,
+            lost_records=lost_records,
+            atomicity_breaks=atomicity_breaks,
+        ))
+        return target
+
+    def kill_and_promote(self, cid: int) -> ReplicaContainer:
+        """Atomic (single-event) crash + failover of one container."""
+        self.kill_primary(cid)
+        return self.promote(cid)
+
+    def commit_survived(self, root: Any) -> bool:
+        """Did an installed commit's writes survive every failed
+        participant's failover?
+
+        Consulted by the executor when a sync ack window was cut short
+        by a kill: if each failed participant has a promoted successor
+        whose applied prefix contains this commit (guaranteed by the
+        sync channel drain once promotion ran), the outcome can be
+        truthfully reported as committed instead of in-doubt.
+        """
+        for manager, session in root.participants():
+            if not manager.failed or session.write_count == 0:
+                continue
+            cid = manager.container_id
+            survivor = self.database.containers[cid]
+            applied = getattr(survivor, "applied_tids", None)
+            if applied is not None and root.commit_tid in applied:
+                continue  # already promoted with the record
+            # Not promoted yet: the record survives any future
+            # promotion iff every remaining replica holds it (the
+            # promotion target is one of them).
+            group = self.replicas.get(cid)
+            if group and all(root.commit_tid in replica.applied_tids
+                             for replica in group):
+                continue
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def lag_snapshot(self) -> dict[int, list[dict[str, Any]]]:
+        """Per-replica lag in records and applied TID watermark."""
+        out: dict[int, list[dict[str, Any]]] = {}
+        for cid, group in self.replicas.items():
+            out[cid] = [
+                {
+                    "replica_id": replica.replica_id,
+                    "lag_records": len(self.shipped[cid])
+                    - len(replica.applied_records),
+                    "applied_tid": replica.applied_tid,
+                }
+                for replica in group
+            ]
+        return out
+
+    def stats_dict(self) -> dict[str, Any]:
+        stats = self.stats
+        return {
+            "mode": self.config.mode,
+            "replicas_per_container":
+                self.config.replicas_per_container,
+            "read_from_replicas": self.config.read_from_replicas,
+            "records_shipped": stats.records_shipped,
+            "records_applied": stats.records_applied,
+            "acked_records": stats.acked_records,
+            "sync_commit_waits": stats.sync_commit_waits,
+            "sync_ack_wait_us": round(stats.sync_ack_wait_us, 3),
+            "avg_lag_us": round(stats.avg_lag_us, 3),
+            "max_lag_us": round(stats.max_lag_us, 3),
+            "reads_routed_to_replicas":
+                stats.reads_routed_to_replicas,
+            "failover_aborts": stats.failover_aborts,
+            "failovers": [
+                {
+                    "container_id": e.container_id,
+                    "replica_id": e.replica_id,
+                    "at_us": round(e.at_us, 3),
+                    "applied_records": e.applied_records,
+                    "lost_acked": list(e.lost_acked),
+                    "lost_records": e.lost_records,
+                    "atomicity_breaks": list(e.atomicity_breaks),
+                }
+                for e in stats.failovers
+            ],
+        }

@@ -28,6 +28,10 @@ class Container:
         self.concurrency = concurrency
         self.executors: list[TransactionExecutor] = []
         self._route_counter = 0
+        #: Set by failure injection / replication failover: a failed
+        #: container accepts no new work, and transactions holding a
+        #: session here abort at commit instead of installing.
+        self.failed = False
 
     def add_executor(self, core_id: int, mpl: int) -> TransactionExecutor:
         executor = TransactionExecutor(

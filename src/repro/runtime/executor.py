@@ -180,6 +180,15 @@ class TransactionExecutor:
     def submit(self, invocation: Invocation) -> None:
         """Enqueue a request (thread-safe by construction: the event
         loop is single-threaded)."""
+        if self.container.failed and \
+                invocation.result_future is not None:
+            # Sub-call arriving at a crashed container: fail the
+            # future so the caller aborts instead of waiting forever.
+            invocation.result_future.fail(
+                TransactionAbort(
+                    f"container {self.container.container_id} failed"),
+                self.scheduler.now)
+            return
         self.queue.append(invocation)
         self._kick()
 
@@ -355,6 +364,24 @@ class TransactionExecutor:
         except UnknownReactorError as exc:
             self._step(task, None, exc)
             return
+        # On a replica container, calls to reactors of the same primary
+        # container resolve to the local shadows (the whole read-only
+        # transaction stays on the replica's cores).  Calls that would
+        # *leave* a serving replica are refused: the replica's shadows
+        # are a consistent prefix of its own primary only, so mixing
+        # them with another container's live primary could read a torn
+        # cross-container state no validation detects.
+        shadow_of = getattr(self.container, "shadow", None)
+        if shadow_of is not None:
+            shadow = shadow_of(call.reactor_name)
+            if shadow is not None:
+                reactor = shadow
+            elif getattr(self.container, "role", None) == "replica":
+                self._step(task, None, UserAbort(
+                    f"replica-served read-only transaction cannot "
+                    f"call reactor {call.reactor_name!r} outside its "
+                    f"container"))
+                return
         current = task.frames[-1].reactor
         root = task.root
 
@@ -554,11 +581,62 @@ class TransactionExecutor:
             # (e.g. pure-compute procedures, empty transactions).
             self._complete_root(task, True, None, result)
             return
+        database = self.container.database
+        if any(manager.failed for manager, __ in participants):
+            # A participant container crashed under this transaction
+            # (replication failover): its writes would land in dead
+            # storage, so the commit must not be reported.
+            TwoPhaseCommit(participants).abort(reason=None)
+            if database.replication is not None:
+                database.replication.stats.failover_aborts += 1
+            self._complete_root(task, False, "container failed", None)
+            return
         outcome = TwoPhaseCommit(participants).commit(
             self.scheduler.now)
         root.commit_tid = outcome.commit_tid
+        if outcome.committed and database.replication is not None:
+            ack_delay = database.replication.on_commit_installed()
+            if ack_delay > 0.0:
+                # Sync replication: the client sees the commit only
+                # after every replica acked.  The executor core is
+                # released while waiting — another admitted task may
+                # run, exactly like a block on a remote future.
+                root.charge("commit_input_gen", ack_delay)
+                if self.running is task:
+                    self.running = None
+                    self._kick()
+                self.scheduler.after(ack_delay,
+                                     self._finish_replicated_commit,
+                                     task, result)
+                return
         self._complete_root(task, outcome.committed, outcome.reason,
                             result if outcome.committed else None)
+
+    def _finish_replicated_commit(self, task: Task, result: Any) -> None:
+        """Deferred completion of a sync-replicated commit.
+
+        If a participant container died during the ack window, the
+        replication manager resolves the in-doubt outcome: when every
+        failed participant's promoted successor holds this commit's
+        record (the sync channel drain guarantees it once promotion
+        ran), it is reported committed; otherwise conservatively as an
+        abort rather than as a commit that failover could lose.
+        """
+        root = task.root
+        database = self.container.database
+        if any(manager.failed for manager, __ in root.participants()):
+            replication = database.replication
+            if replication is not None and \
+                    replication.commit_survived(root):
+                self._complete_root(task, True, None, result)
+                return
+            if replication is not None:
+                replication.stats.failover_aborts += 1
+            self._complete_root(
+                task, False, "container failed before replication ack",
+                None)
+            return
+        self._complete_root(task, True, None, result)
 
     def _abort_root(self, task: Task, abort: TransactionAbort) -> None:
         root = task.root

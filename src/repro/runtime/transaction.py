@@ -65,7 +65,7 @@ class RootTransaction:
         "sessions", "_subtxn_counter", "touched_reactors",
         "breakdown", "remote_calls", "on_complete", "finished",
         "user_abort", "client_worker", "effect_seq", "commit_tid",
-        "doomed",
+        "doomed", "read_only",
     )
 
     def __init__(self, txn_id: int, procedure: str, reactor_name: str,
@@ -91,6 +91,10 @@ class RootTransaction:
         #: Set when a CC scheme condemned this transaction in *any*
         #: container (2PL wound): its sessions everywhere observe it.
         self.doomed = False
+        #: Declared read-only (procedure annotation or submit flag):
+        #: eligible for read-replica routing; writes abort at
+        #: buffering time.
+        self.read_only = False
         self.commit_tid = 0
         self.client_worker: Any = None
         #: Monotonic effect counter of the root task; used to classify

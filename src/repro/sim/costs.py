@@ -64,6 +64,13 @@ class CostParameters:
     tpc_prepare_per_container: float = 1.2
     abort_cost: float = 0.5
 
+    # Replication (log shipping to replica containers): one-way network
+    # delay to ship a redo record, per-write apply cost on the replica,
+    # and the ack path a sync commit waits on.
+    repl_ship_delay: float = 2.0
+    repl_apply_per_write: float = 0.12
+    repl_ack_delay: float = 2.0
+
     # Cache-affinity modelling: operations on a reactor whose data was
     # last touched by a different core are penalized by this factor for
     # the duration of the transaction (the reactor then becomes warm on
@@ -90,6 +97,8 @@ class CostParameters:
                 "proc_base_cost", "occ_validate_per_read",
                 "occ_install_per_write", "occ_commit_base",
                 "tpc_prepare_per_container", "abort_cost", "rand_cost",
+                "repl_ship_delay", "repl_apply_per_write",
+                "repl_ack_delay",
             )
         }
         return replace(self, **fields)

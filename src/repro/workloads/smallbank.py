@@ -96,9 +96,14 @@ def transact_saving(ctx, amt: float) -> float:
     return balance + amt
 
 
-@CUSTOMER.procedure
+@CUSTOMER.procedure(read_only=True)
 def balance(ctx) -> float:
-    """Classic Smallbank Balance: savings + checking."""
+    """Classic Smallbank Balance: savings + checking.
+
+    Declared read-only: under a deployment with replication and
+    ``read_from_replicas``, Balance roots are served from a replica of
+    the customer's container (bounded-staleness reads).
+    """
     cust_id = _lookup_cust_id(ctx)
     savings = ctx.lookup("savings", cust_id)["balance"]
     checking = ctx.lookup("checking", cust_id)["balance"]
@@ -257,6 +262,10 @@ STANDARD_MIX = (
     "amalgamate",
     "transfer",
 )
+
+#: 80% Balance reads — the read-replica-routing showcase mix.
+READ_HEAVY_MIX = ("balance",) * 8 + ("deposit_checking",
+                                     "transact_saving")
 
 
 class SmallbankWorkload:

@@ -150,6 +150,35 @@ class TestSerialization:
         with pytest.raises(DeploymentError):
             shared_nothing(2, cc_scheme="psychic")
 
+    def test_unknown_top_level_key_rejected(self):
+        """Typos in config files must fail loudly, naming the key —
+        a silently ignored ``cc_schema`` would run the wrong scheme."""
+        data = shared_nothing(2).to_dict()
+        data["cc_schema"] = "2pl_nowait"
+        with pytest.raises(DeploymentError, match="cc_schema"):
+            DeploymentConfig.from_dict(data)
+
+    def test_legacy_cc_enabled_key_still_accepted(self):
+        data = shared_nothing(2).to_dict()
+        data["cc_enabled"] = True
+        DeploymentConfig.from_dict(data)  # not an unknown key
+
+    def test_replication_round_trips(self):
+        from repro.replication import ReplicationConfig
+
+        config = shared_nothing(
+            2, replication=ReplicationConfig(
+                replicas_per_container=2, mode="async",
+                read_from_replicas=True, async_lag_us=75.0))
+        restored = DeploymentConfig.from_json(config.to_json())
+        assert restored.replication == config.replication
+        assert restored.to_dict() == config.to_dict()
+
+    def test_replication_defaults_to_disabled(self):
+        config = DeploymentConfig.from_dict({
+            "name": "minimal", "containers": [{}]})
+        assert not config.replication.enabled
+
     def test_factories_accept_legacy_cc_enabled(self):
         assert shared_nothing(2, cc_enabled=False).cc_scheme == "none"
         assert shared_everything_with_affinity(

@@ -19,10 +19,15 @@ from repro.workloads import smallbank as sb
 
 N = 8
 
+#: Recovery must behave identically under every real CC scheme — the
+#: redo log records committed after-images, not scheme artifacts.
+CC_SCHEMES = ("occ", "2pl_nowait", "2pl_waitdie")
 
-def fresh_bank(deployment=None):
-    database = ReactorDatabase(deployment or shared_nothing(4),
-                               sb.declarations(N))
+
+def fresh_bank(deployment=None, cc_scheme="occ"):
+    database = ReactorDatabase(
+        deployment or shared_nothing(4, cc_scheme=cc_scheme),
+        sb.declarations(N))
     sb.load(database, N)
     return database
 
@@ -120,24 +125,58 @@ class TestCheckpoints:
 
 
 class TestRecovery:
-    def test_recovery_from_empty_checkpoint_plus_full_log(self):
-        database = fresh_bank()
+    @pytest.mark.parametrize("cc_scheme", CC_SCHEMES)
+    def test_recovery_from_empty_checkpoint_plus_full_log(
+            self, cc_scheme):
+        database = fresh_bank(cc_scheme=cc_scheme)
         manager = enable_durability(database)
         empty_checkpoint = take_checkpoint(fresh_bank())
         run_some_transfers(database, count=15)
-        recovered = recover(shared_nothing(4), sb.declarations(N),
-                            empty_checkpoint, manager.logs.values())
+        recovered = recover(
+            shared_nothing(4, cc_scheme=cc_scheme),
+            sb.declarations(N), empty_checkpoint,
+            manager.logs.values())
         assert state_of(recovered) == state_of(database)
 
-    def test_recovery_from_checkpoint_plus_tail(self):
-        database = fresh_bank()
+    @pytest.mark.parametrize("cc_scheme", CC_SCHEMES)
+    def test_recovery_from_checkpoint_plus_tail(self, cc_scheme):
+        database = fresh_bank(cc_scheme=cc_scheme)
         manager = enable_durability(database)
         run_some_transfers(database, count=8, seed=1)
         checkpoint = manager.checkpoint_and_truncate()
         run_some_transfers(database, count=8, seed=2)
-        recovered = recover(shared_nothing(4), sb.declarations(N),
-                            checkpoint, manager.logs.values())
+        recovered = recover(
+            shared_nothing(4, cc_scheme=cc_scheme),
+            sb.declarations(N), checkpoint, manager.logs.values())
         assert state_of(recovered) == state_of(database)
+
+    def test_recovered_state_identical_across_cc_schemes(self):
+        """The same (sequential, deterministic) workload recovers to
+        the same state no matter which scheme logged it — and a log
+        written under one scheme replays under another."""
+        states = {}
+        logs = {}
+        for scheme in CC_SCHEMES:
+            database = fresh_bank(cc_scheme=scheme)
+            manager = enable_durability(database)
+            run_some_transfers(database, count=12, seed=9)
+            checkpoint = take_checkpoint(fresh_bank())
+            recovered = recover(
+                shared_nothing(4, cc_scheme=scheme),
+                sb.declarations(N), checkpoint,
+                manager.logs.values())
+            assert state_of(recovered) == state_of(database)
+            states[scheme] = state_of(recovered)
+            logs[scheme] = manager
+        baseline = states["occ"]
+        for scheme in CC_SCHEMES[1:]:
+            assert states[scheme] == baseline, scheme
+        # Cross-scheme recovery: 2PL-written log, OCC-recovered DB.
+        cross = recover(shared_nothing(4, cc_scheme="occ"),
+                        sb.declarations(N),
+                        take_checkpoint(fresh_bank()),
+                        logs["2pl_nowait"].logs.values())
+        assert state_of(cross) == baseline
 
     def test_recovery_onto_different_architecture(self):
         """Recovery targets any deployment: logical state survives

@@ -27,6 +27,12 @@ def test_crash_recovery():
     assert "recovered database accepts new transactions" in out
 
 
+def test_replication_failover():
+    out = run_example("replication_failover.py")
+    assert "no committed data lost" in out
+    assert "promoted replica accepts new transactions" in out
+
+
 def test_deployment_tuning():
     out = run_example("deployment_tuning.py")
     assert "zero application" in out
