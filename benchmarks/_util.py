@@ -15,7 +15,9 @@ Machine-readable output: :func:`emit_json` writes a
 downstream tooling can consume results without parsing tables;
 benchmarks that run as scripts gate it behind a ``--json`` flag via
 :func:`json_enabled` (the ``BENCH_JSON=1`` environment variable works
-too).
+too).  Every JSON file carries a ``meta`` block recording the git SHA
+the numbers were produced from and the benchmark's configuration dict,
+so archived results stay attributable.
 """
 
 from __future__ import annotations
@@ -24,11 +26,31 @@ import contextlib
 import io
 import json
 import os
+import subprocess
 import sys
 from pathlib import Path
 from typing import Any
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def _ensure_results_dir() -> None:
+    # parents=True: survives a fresh checkout where even the parent is
+    # missing (e.g. running a single benchmark file from elsewhere).
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+
+
+def git_sha() -> str:
+    """The repository HEAD the benchmark ran at, or ``"unknown"``."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).parent, capture_output=True, text=True,
+            timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
 
 
 def emit_report(name: str, report_fn, *args) -> str:
@@ -38,7 +60,7 @@ def emit_report(name: str, report_fn, *args) -> str:
         report_fn(*args)
     text = buffer.getvalue()
     print(text)
-    RESULTS_DIR.mkdir(exist_ok=True)
+    _ensure_results_dir()
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     return text
 
@@ -50,9 +72,24 @@ def json_enabled(argv: list[str] | None = None) -> bool:
     return "--json" in argv or env not in ("", "0", "false", "no")
 
 
-def emit_json(name: str, payload: Any) -> Path:
-    """Persist ``payload`` as ``benchmarks/results/BENCH_<name>.json``."""
-    RESULTS_DIR.mkdir(exist_ok=True)
+def emit_json(name: str, payload: Any,
+              config: dict[str, Any] | None = None) -> Path:
+    """Persist ``payload`` as ``benchmarks/results/BENCH_<name>.json``.
+
+    A ``meta`` block (git SHA + the benchmark's ``config`` dict) is
+    recorded alongside dict payloads so every archived result is
+    attributable to the code and parameters that produced it.
+    """
+    _ensure_results_dir()
+    if isinstance(payload, dict):
+        payload = {
+            **payload,
+            "meta": {
+                "benchmark": name,
+                "git_sha": git_sha(),
+                "config": dict(config or {}),
+            },
+        }
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True)
                     + "\n")

@@ -45,6 +45,14 @@ N_CUSTOMERS = 40
 WORKERS = 4
 TPCC_WAREHOUSES = 2
 
+CONFIG = {
+    "modes": list(MODES),
+    "skews": list(SKEWS),
+    "n_customers": N_CUSTOMERS,
+    "workers": WORKERS,
+    "tpcc_warehouses": TPCC_WAREHOUSES,
+}
+
 
 def _replication(mode: str,
                  read_from_replicas: bool = False
@@ -203,7 +211,7 @@ def _report(payload):
 def test_ablation_replication(benchmark):
     payload = run_ablation()
     emit_report("ablation_replication", lambda: _report(payload))
-    emit_json("ablation_replication", payload)
+    emit_json("ablation_replication", payload, config=CONFIG)
 
     by_key = {(r["workload"], r["mode"], r["skew"]): r
               for r in payload["runs"]}
@@ -243,7 +251,9 @@ def main(argv: list[str] | None = None) -> None:
     payload = run_ablation(measure_us=measure_us)
     emit_report("ablation_replication", lambda: _report(payload))
     if json_enabled(argv):
-        path = emit_json("ablation_replication", payload)
+        path = emit_json("ablation_replication", payload,
+                         config={**CONFIG, "measure_us": measure_us,
+                                 "tiny": tiny})
         print(f"wrote {path}")
 
 

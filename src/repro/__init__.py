@@ -24,8 +24,20 @@ Quick start::
     db = ReactorDatabase(shared_nothing(2),
                          [("alice", account), ("bob", account)])
 
-See ``examples/`` for complete applications and ``benchmarks/`` for
-the reproduction of every table and figure of the paper.
+See ``examples/`` for complete applications, ``benchmarks/`` for the
+reproduction of every table and figure of the paper, and ``docs/`` for
+the architecture / deployment / benchmark guides.
+
+Public exports: the programming-model surface
+(:class:`~repro.core.reactor.ReactorType`,
+:class:`~repro.core.database.ReactorDatabase`,
+:class:`~repro.core.context.ReactorContext`), the deployment-time
+knobs (:class:`~repro.core.deployment.DeploymentConfig`, the S1/S2/S3
+factories, :class:`~repro.replication.config.ReplicationConfig`,
+:class:`~repro.migration.config.MigrationConfig`), the error roots
+(:class:`~repro.errors.ReactorError`,
+:class:`~repro.errors.TransactionAbort`,
+:class:`~repro.errors.UserAbort`) and the two machine profiles.
 """
 
 from repro.core import (
@@ -38,6 +50,7 @@ from repro.core import (
     shared_nothing,
 )
 from repro.errors import ReactorError, TransactionAbort, UserAbort
+from repro.migration import MigrationConfig
 from repro.replication import ReplicationConfig
 from repro.sim import OPTERON_6274, XEON_E3_1276
 
@@ -49,6 +62,7 @@ __all__ = [
     "ReactorContext",
     "DeploymentConfig",
     "ReplicationConfig",
+    "MigrationConfig",
     "shared_everything_without_affinity",
     "shared_everything_with_affinity",
     "shared_nothing",

@@ -3,6 +3,9 @@
 Implements the paper's future-work static checks for dangerous call
 structures (Section 2.2.4): call-graph cycle detection and fan-out
 race warnings over reactor procedure source code.
+
+Public exports: ``analyze`` / ``extract_call_sites`` and their result
+types (:class:`AnalysisReport`, :class:`CallSite`, :class:`Warning_`).
 """
 
 from repro.analysis.static_safety import (

@@ -4,6 +4,13 @@ Methodology mirrors the paper (Section 4.1.2): epoch-based measurement
 after OLTP-Bench, closed-loop client workers in a separate worker
 container, latency measured including input generation, and mean/std
 reported across epochs.
+
+Public exports: the drivers (``run_measurement``,
+``single_worker_latency``, :class:`MeasurementResult`), the load
+generators (:class:`Worker`, ``spawn_workers``), the statistics
+(:class:`RunSummary`, ``summarize``, ``mean`` / ``stddev`` /
+``percentile``) and the table/series printers (``format_table``,
+``print_table``, ``print_series``).
 """
 
 from repro.bench.harness import (

@@ -13,6 +13,14 @@ scheme.  Correctness rests on Theorem 2.7 of the paper: a serializable
 scheduler for the classic transactional model implements one for the
 reactor model (see :mod:`repro.formal` for the executable
 formalization).
+
+Public exports: the scheme protocol (:class:`ConcurrencyControl`,
+:class:`CCSession`, :class:`CCStats`, :class:`WriteIntent`,
+:class:`ScanResult`), the registry (``register_cc_scheme`` /
+``create_cc_scheme`` / ``cc_scheme_names`` /
+:data:`BUILTIN_CC_SCHEMES`), the explicit no-CC
+:class:`PassthroughCC`, and the cross-container coordinator
+(:class:`TwoPhaseCommit`, :class:`CommitOutcome`).
 """
 
 from repro.concurrency.base import (

@@ -7,6 +7,16 @@ Public entry points:
 * :class:`~repro.core.database.ReactorDatabase` — instantiate a reactor
   database on a simulated machine under a chosen deployment;
 * deployment factories for the paper's three architectures.
+
+Public exports: :class:`ReactorType` / :class:`Reactor`,
+:class:`ReactorContext`, :class:`ReactorDatabase`,
+:class:`DeploymentConfig` with :class:`ContainerSpec`, the placement
+policies (:class:`Placement`, :class:`RangePlacement`,
+:class:`ExplicitPlacement`), the routing constants
+(:data:`ROUND_ROBIN`, :data:`AFFINITY`) and the S1/S2/S3 deployment
+factories.  Live reconfiguration is reached through the database
+handle: ``db.migrate(reactor, dst)`` / ``db.rebalance()`` (see
+:mod:`repro.migration`).
 """
 
 from repro.core.context import ReactorContext

@@ -61,6 +61,9 @@ class ReactorDatabase:
         self.durability: Any = None
         #: Replication manager when the deployment asks for replicas.
         self.replication: Any = None
+        #: Online-migration manager (always attached; see
+        #: repro.migration).
+        self.migration: Any = None
         self._build(reactors)
 
     # ------------------------------------------------------------------
@@ -117,6 +120,12 @@ class ReactorDatabase:
             self.replication = ReplicationManager(
                 self, deployment.replication)
 
+        # Deferred for the same reason as the replication manager: the
+        # migration layer reaches back into core/runtime modules.
+        from repro.migration.manager import MigrationManager
+
+        self.migration = MigrationManager(self, deployment.migration)
+
     # ------------------------------------------------------------------
     # Registry
     # ------------------------------------------------------------------
@@ -156,6 +165,8 @@ class ReactorDatabase:
         separate simulated cores.
         """
         reactor = self.reactor(reactor_name)
+        if self.migration is not None:
+            self.migration.note_submit(reactor_name)
         if read_only is None:
             read_only = reactor.rtype.is_read_only(proc_name)
         if read_only and self.replication is not None:
@@ -172,6 +183,11 @@ class ReactorDatabase:
         root.read_only = bool(read_only)
         invocation = Invocation(root, reactor, proc_name, args, kwargs,
                                 subtxn_id=0, on_root_done=on_done)
+        if reactor.migrating:
+            # Mid-migration: the root parks in the migration queue and
+            # replays at the destination after the routing flip.
+            self.migration.park_root(reactor.name, invocation)
+            return root
         if reactor.container.failed:
             # Failed primary with no promoted replacement yet: refuse
             # immediately rather than queueing on a dead executor.
@@ -303,6 +319,35 @@ class ReactorDatabase:
         if self.replication is None:
             return {"mode": "none", "replicas_per_container": 0}
         return self.replication.stats_dict()
+
+    # ------------------------------------------------------------------
+    # Online migration and elastic rebalancing (repro.migration)
+    # ------------------------------------------------------------------
+
+    def migrate(self, reactor_name: str, dst_container: int,
+                on_done: Callable[..., None] | None = None):
+        """Move a reactor to another container while serving traffic.
+
+        Returns a :class:`~repro.migration.manager.Migration` handle
+        immediately; the drain/copy/flip/replay pipeline runs in
+        virtual time (drive the scheduler).  New work submitted to the
+        reactor during the migration queues at the destination and
+        replays after the routing flip; replica shards are re-homed
+        when the deployment replicates.
+        """
+        return self.migration.migrate(reactor_name, dst_container,
+                                      on_done=on_done)
+
+    def rebalance(self):
+        """One elastic load check: migrate the hottest reactors off
+        overloaded containers (see
+        :class:`~repro.migration.config.MigrationConfig` for the
+        imbalance threshold).  Returns the migrations started."""
+        return self.migration.rebalance()
+
+    def migration_stats(self) -> dict[str, Any]:
+        """Migration / rebalancing counters and per-event details."""
+        return self.migration.stats_dict()
 
 
 __all__ = ["ReactorDatabase", "RootTransaction", "TxnStats"]

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any
 
 from repro.errors import DeploymentError
+from repro.migration.config import DEFAULT_MIGRATION, MigrationConfig
 from repro.replication.config import NO_REPLICATION, ReplicationConfig
 from repro.sim.machine import (
     XEON_E3_1276,
@@ -144,6 +145,12 @@ class DeploymentConfig:
     wait for replica acks (``sync``) or apply in the background
     (``async``), and whether read-only root transactions are served
     from replicas — again a config edit only.
+
+    ``migration`` removes the last start-time restriction: a
+    :class:`~repro.migration.config.MigrationConfig` tunes how online
+    reactor migrations (``db.migrate`` / ``db.rebalance``) drain and
+    whether the elastic rebalancing policy runs automatically — so
+    *placement over time* is a config edit too.
     """
 
     name: str
@@ -154,6 +161,7 @@ class DeploymentConfig:
     placement: Placement = field(default_factory=Placement)
     cc_scheme: str = "occ"
     replication: ReplicationConfig = NO_REPLICATION
+    migration: MigrationConfig = DEFAULT_MIGRATION
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -200,6 +208,7 @@ class DeploymentConfig:
     KNOWN_KEYS = frozenset({
         "name", "machine", "containers", "routing", "pin_reactors",
         "placement", "cc_scheme", "cc_enabled", "replication",
+        "migration",
     })
 
     def to_dict(self) -> dict[str, Any]:
@@ -215,6 +224,7 @@ class DeploymentConfig:
             "placement": self.placement.to_dict(),
             "cc_scheme": self.cc_scheme,
             "replication": self.replication.to_dict(),
+            "migration": self.migration.to_dict(),
         }
 
     @staticmethod
@@ -244,6 +254,8 @@ class DeploymentConfig:
             cc_scheme=scheme,
             replication=ReplicationConfig.from_dict(
                 data.get("replication", {})),
+            migration=MigrationConfig.from_dict(
+                data.get("migration", {})),
         )
 
     def to_json(self) -> str:
@@ -310,7 +322,8 @@ def shared_nothing(n_containers: int,
                    mpl: int = 4, placement: Placement | None = None,
                    cc_scheme: str = "occ",
                    cc_enabled: bool | None = None,
-                   replication: ReplicationConfig | None = None
+                   replication: ReplicationConfig | None = None,
+                   migration: MigrationConfig | None = None
                    ) -> DeploymentConfig:
     """S3: one executor per container, reactors pinned.
 
@@ -329,4 +342,5 @@ def shared_nothing(n_containers: int,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
         replication=replication or NO_REPLICATION,
+        migration=migration or DEFAULT_MIGRATION,
     )

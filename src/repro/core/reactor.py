@@ -96,11 +96,22 @@ class Reactor:
     assigned by the deployment at bootstrap; ``last_core`` tracks which
     simulated core most recently touched this reactor's data, driving
     the cache-affinity cost model (DESIGN.md section 3).
+
+    Online migration (:mod:`repro.migration`) moves a reactor between
+    containers mid-run by building a *successor* instance at the
+    destination and atomically flipping the routing entry.  The
+    routing-epoch attributes track that lifecycle: ``epoch`` counts how
+    many times the logical reactor has been re-homed, ``migrating``
+    marks the serving instance while its migration drains, and a
+    ``retired`` instance points at its successor through
+    ``migrated_to`` so stragglers holding a stale reference can be
+    forwarded.
     """
 
     __slots__ = ("name", "rtype", "catalog", "container",
                  "pinned_executor", "affinity_executor", "last_core",
-                 "core_heat", "_active_subtxn")
+                 "core_heat", "_active_subtxn", "epoch", "migrating",
+                 "retired", "migrated_to", "inflight_roots")
 
     #: Cache-warmth retained per intervening transaction on another
     #: core: with round-robin over k executors a reactor returns to a
@@ -126,6 +137,18 @@ class Reactor:
         # root txn id -> sub-transaction id currently active here;
         # enforces the dynamic safety condition of Section 2.2.4.
         self._active_subtxn: dict[int, int] = {}
+        #: Routing epoch: 0 at bootstrap, +1 per completed migration of
+        #: the logical reactor this instance continues.
+        self.epoch = 0
+        #: Set while an online migration of this instance drains.
+        self.migrating = False
+        #: Set once a migration flipped routing away from this
+        #: instance; ``migrated_to`` is the successor at the new home.
+        self.retired = False
+        self.migrated_to: Any = None
+        #: Root txn ids that touched this instance and have not yet
+        #: completed — the drain barrier of online migration.
+        self.inflight_roots: set[int] = set()
 
     def touch(self, core_id: int) -> float:
         """Record a transaction touching this reactor from ``core_id``.

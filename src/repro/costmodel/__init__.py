@@ -6,6 +6,12 @@
   profiled runs (the paper's calibration workflow);
 * :mod:`repro.costmodel.programs` — spec builders for multi-transfer,
   YCSB multi_update and TPC-C new-order.
+
+Public exports: the fork-join model (:class:`ForkJoinSpec`,
+:class:`Call`, ``predict_observable_breakdown``), calibration
+(:class:`Calibration`, ``calibrate_from_summary``) and the program
+spec builders (``multi_transfer``, ``ycsb_multi_update``,
+``tpcc_new_order``, ``destinations``).
 """
 
 from repro.costmodel.calibration import Calibration, calibrate_from_summary

@@ -8,6 +8,12 @@ TID, quiescent checkpoints, and recovery by checkpoint restore +
 TID-ordered replay.  Recovery may target a different deployment than
 the crashed database — architecture virtualization extends to
 recovery.
+
+Public exports: the redo-log types (:class:`RedoLog`,
+:class:`RedoRecord`, :class:`RedoEntry`, the ``INSERT`` / ``UPDATE`` /
+``DELETE`` kinds, ``apply_record_to``), checkpoints
+(:class:`Checkpoint`, ``take_checkpoint``) and the recovery driver
+(:class:`DurabilityManager`, ``enable_durability``, ``recover``).
 """
 
 from repro.durability.checkpoint import Checkpoint, take_checkpoint

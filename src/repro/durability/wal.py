@@ -90,6 +90,11 @@ class RedoLog:
         self.container_id = container_id
         self.records: list[RedoRecord] = []
         self.listener: Callable[[RedoRecord], None] | None = None
+        #: Highest TID a checkpoint truncation dropped records through
+        #: (0 when the log is complete from the beginning).  Lets
+        #: replay-based audits tell "no records below X" apart from
+        #: "records below X were truncated away".
+        self.truncated_through = 0
 
     def append(self, commit_tid: int,
                entries: Iterable[RedoEntry]) -> None:
@@ -106,6 +111,8 @@ class RedoLog:
         kept = [r for r in self.records if r.commit_tid > tid]
         dropped = len(self.records) - len(kept)
         self.records = kept
+        if dropped and tid > self.truncated_through:
+            self.truncated_through = tid
         return dropped
 
     def max_tid(self) -> int:

@@ -42,6 +42,10 @@ class ReplicationError(ReactorError):
     """The replication subsystem was misconfigured or misused."""
 
 
+class MigrationError(ReactorError):
+    """An online reactor migration was misconfigured or misused."""
+
+
 class SimulationError(ReactorError):
     """The discrete-event simulator detected an internal inconsistency."""
 
@@ -79,6 +83,12 @@ class DeadlockAvoidanceAbort(CCAbort):
 class WoundAbort(CCAbort):
     """2PL WAIT_DIE: this transaction was wounded (preempted) by an
     older transaction requesting a lock it held."""
+
+
+class MigrationAbort(CCAbort):
+    """A transaction was killed by the online-migration subsystem: a
+    sub-call parked for a migrating reactor could not be replayed
+    because the migration was cancelled (container failure)."""
 
 
 class DangerousStructureAbort(TransactionAbort):

@@ -4,6 +4,11 @@ Each module exposes ``run(...)`` (returns plain data, parameterized so
 benchmarks can trade precision for wall-clock time) and ``report(...)``
 (prints the same rows/series the paper's figure or table shows).
 Running a module as a script executes both with default parameters.
+
+Public exports are the experiment submodules themselves (``fig05``
+through ``fig19``, ``table1``, ``appf2`` / ``appf3``) plus
+:mod:`~repro.experiments.common`, the shared database/deployment
+builders they all use.
 """
 
 from repro.experiments import (  # noqa: F401

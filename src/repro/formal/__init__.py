@@ -4,11 +4,21 @@ Definitions 2.1-2.6 and Theorem 2.7 as code: reactor-model histories,
 their projection into the classic transactional model, and
 serialization-graph acyclicity checks under both conflict notions.
 Property-based tests verify the theorem on randomized histories.
+
+Public exports: history building blocks (:class:`Op`, ``read`` /
+``write`` / ``commit`` / ``abort``, :class:`ReactorHistory`,
+:class:`ClassicHistory`, ``project``), the serializability checks
+(``is_serializable_reactor`` / ``is_serializable_classic`` /
+``serialization_order`` / ``theorem_2_7_holds``) and the runtime
+audits (:class:`HistoryRecorder` with ``attach_recorder`` /
+``detach_recorder``, plus the black-box certificates
+``certify_replication`` and ``certify_migration``).
 """
 
 from repro.formal.audit import (
     HistoryRecorder,
     attach_recorder,
+    certify_migration,
     certify_replication,
     detach_recorder,
 )
@@ -50,4 +60,5 @@ __all__ = [
     "attach_recorder",
     "detach_recorder",
     "certify_replication",
+    "certify_migration",
 ]

@@ -48,6 +48,18 @@ class HistoryRecorder:
     def reactor_name(self, reactor_id: int) -> str:
         return self._reactor_names[reactor_id]
 
+    def alias_reactor(self, old: Any, new: Any) -> None:
+        """Register ``new`` as the continuation of ``old``.
+
+        Called by the online-migration subsystem at the routing flip:
+        the successor instance at the destination container carries the
+        same logical reactor, so operations on it must join the same
+        per-reactor history — otherwise conflicts between transactions
+        before and after a migration would be invisible to the
+        serializability check.
+        """
+        self._reactor_ids[id(new)] = self._reactor_id(old)
+
     # -- event intake ------------------------------------------------------
 
     def record_op(self, kind: str, txn_id: int, subtxn_id: int,
@@ -152,10 +164,19 @@ class _RecordingSession:
 # Replica consistency certification (black-box, after Huang et al.)
 # ----------------------------------------------------------------------
 
-def _expected_state(manager: Any, cid: int, records: list) \
+def _expected_state(manager: Any, cid: int, records: list,
+                    fences: dict[str, int] | None = None) \
         -> dict[tuple[str, str], dict[tuple, dict]]:
-    """Replay base rows + a record sequence into a flat state map."""
+    """Replay base rows + a record sequence into a flat state map.
+
+    ``fences`` (reactor name -> record index) reproduces the online-
+    migration skip rule: entries for a reactor re-homed into this
+    container mid-run are ignored below the fence — the migration
+    snapshot in the base rows supersedes history from any previous
+    residence (see :class:`repro.replication.replica.ReplicaContainer`).
+    """
     state: dict[tuple[str, str], dict[tuple, dict]] = {}
+    fences = fences or {}
     database = manager.database
     for (reactor_name, table_name), rows in \
             manager.base_rows.get(cid, {}).items():
@@ -163,8 +184,10 @@ def _expected_state(manager: Any, cid: int, records: list) \
         bucket = state.setdefault((reactor_name, table_name), {})
         for row in rows:
             bucket[table.schema.primary_key_of(row)] = dict(row)
-    for record in records:
+    for index, record in enumerate(records):
         for entry in record.entries:
+            if index < fences.get(entry.reactor, 0):
+                continue
             bucket = state.setdefault((entry.reactor, entry.table), {})
             if entry.kind == "delete":
                 bucket.pop(entry.pk, None)
@@ -229,7 +252,8 @@ def certify_replication(database: Any) -> dict[str, Any]:
         order_ok = all(a < b for a, b in zip(tids, tids[1:]))
         replay_records = shipped if role == "primary" else records
         state_ok = _container_state(container) == _expected_state(
-            manager, container_id, replay_records)
+            manager, container_id, replay_records,
+            fences=getattr(container, "reactor_fences", None))
         entry = {
             "container_id": container_id,
             "replica_id": container.replica_id,
@@ -274,6 +298,115 @@ def certify_replication(database: Any) -> dict[str, Any]:
         }
         report["failovers"].append(entry)
         if event.lost_acked:
+            report["ok"] = False
+    return report
+
+
+def certify_migration(database: Any) -> dict[str, Any]:
+    """Black-box certification of completed online migrations.
+
+    For the most recent completed migration of each reactor the
+    certificate asserts, from observable state only:
+
+    1. **routing** — the reactor resolves to its destination
+       container, the source instance is retired and forwards to the
+       successor, and the routing epoch advanced by exactly one;
+    2. **source quiescence** — the source container's redo log gained
+       no entry for the reactor after the snapshot watermark: the
+       drain barrier really ended all writes at the old home (no
+       write was torn off onto dead storage);
+    3. **state replay equivalence** — the snapshot after-images plus
+       the destination redo records for the reactor above the
+       watermark replay to exactly the reactor's live table state, the
+       same replay argument recovery and replication certification
+       rest on.
+
+    Earlier migrations of a re-migrated reactor are listed as
+    ``superseded`` (their destination state has legitimately moved
+    on); cancelled migrations are listed, not failed.  Replaying
+    through a log a checkpoint truncated below the watermark is
+    reported with ``log_checked: false`` instead of a spurious
+    failure.
+    """
+    manager = getattr(database, "migration", None)
+    report: dict[str, Any] = {
+        "enabled": manager is not None and bool(manager.stats.events),
+        "ok": True,
+        "migrations": [],
+    }
+    if manager is None:
+        return report
+    completed = [m for m in manager.stats.events if m.state == "done"]
+    last_for = {m.reactor_name: m for m in completed}
+
+    for migration in manager.stats.events:
+        entry: dict[str, Any] = {
+            "reactor": migration.reactor_name,
+            "src": migration.src_cid,
+            "dst": migration.dst_cid,
+            "state": migration.state,
+            "rows_copied": migration.rows_copied,
+            "superseded":
+                last_for.get(migration.reactor_name) is not migration,
+        }
+        report["migrations"].append(entry)
+        if migration.state != "done" or entry["superseded"]:
+            continue
+
+        name = migration.reactor_name
+        live = database.reactor(name)
+        entry["routing_ok"] = (
+            live.container.container_id == migration.dst_cid
+            and migration.source.retired
+            and migration.source.migrated_to is migration.target
+            and migration.target.epoch == migration.source.epoch + 1
+        )
+
+        src_log = migration.src_log
+        entry["src_quiet_ok"] = src_log is None or not any(
+            entry_.reactor == name
+            for record in src_log.records
+            if record.commit_tid > migration.watermark
+            for entry_ in record.entries
+        )
+
+        # Replay: snapshot + destination records above the watermark.
+        expected: dict[str, dict[tuple, dict]] = {}
+
+        def apply(entries) -> None:
+            for e in entries:
+                bucket = expected.setdefault(e.table, {})
+                if e.kind == "delete":
+                    bucket.pop(e.pk, None)
+                else:
+                    assert e.row is not None
+                    bucket[e.pk] = dict(e.row)
+
+        for record in migration.snapshot_records:
+            apply(record.entries)
+        dst_log = migration.dst_log
+        log_checked = dst_log is not None and \
+            getattr(dst_log, "truncated_through", 0) \
+            <= migration.watermark
+        if log_checked:
+            for record in dst_log.records:
+                if record.commit_tid > migration.watermark:
+                    apply(e for e in record.entries
+                          if e.reactor == name)
+            actual: dict[str, dict[tuple, dict]] = {}
+            for table in live.catalog:
+                rows = table.rows()
+                if rows:
+                    actual[table.name] = {
+                        table.schema.primary_key_of(row): row
+                        for row in rows
+                    }
+            expected = {t: rows for t, rows in expected.items() if rows}
+            entry["state_ok"] = actual == expected
+        entry["log_checked"] = log_checked
+        entry["ok"] = (entry["routing_ok"] and entry["src_quiet_ok"]
+                       and entry.get("state_ok", True))
+        if not entry["ok"]:
             report["ok"] = False
     return report
 

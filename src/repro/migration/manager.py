@@ -1,0 +1,573 @@
+"""Online reactor migration: drain, park, copy, flip, replay.
+
+ReactDB's claim is that architecture is a deployment-time choice; this
+module removes the remaining caveat that it was a *start*-time choice.
+A :class:`MigrationManager` (one per database, always attached) moves a
+reactor — its records, partial indexes, and routing entry — from one
+container to another while the system keeps serving traffic:
+
+1. **park** — the reactor is marked ``migrating``; new root
+   transactions submitted to it, and sub-calls from transactions with
+   no stake in the source copy, are parked in the migration's queue
+   instead of reaching an executor (queued-but-unstarted roots at the
+   source are swept into the same queue);
+2. **drain** — the migration waits (re-checking every
+   ``drain_poll_us`` of virtual time) until no in-flight root
+   transaction that touched the source instance remains, so no session
+   can still reference its records;
+3. **copy** — the committed state is snapshotted into synthetic
+   :class:`~repro.durability.wal.RedoRecord` after-images and replayed
+   into a fresh successor instance through the same
+   :func:`~repro.durability.wal.apply_record_to` machinery crash
+   recovery and replication use, priced by the ``mig_*`` cost
+   parameters of :mod:`repro.sim.costs`;
+4. **flip** — the routing entry swaps to the successor in a single
+   scheduler event (the source is ``retired`` and forwards
+   stragglers), replication re-homes the reactor's replica shards, and
+   the history recorder (when attached) aliases the successor so
+   serializability audits span the migration;
+5. **replay** — the parked work is re-submitted at the destination in
+   arrival order.
+
+On top of the mechanism, :meth:`MigrationManager.rebalance` (exposed
+as ``db.rebalance()``) watches per-reactor submission counts and moves
+the hottest reactors off overloaded containers;
+:class:`~repro.migration.policy.ElasticPolicy` runs that check
+periodically in virtual time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.reactor import Reactor
+from repro.durability.wal import INSERT, RedoEntry, RedoRecord, \
+    apply_record_to
+from repro.errors import MigrationAbort, MigrationError
+
+DRAINING = "draining"
+COPYING = "copying"
+DONE = "done"
+CANCELLED = "cancelled"
+
+
+@dataclass
+class Migration:
+    """One online migration of one reactor, observable as it runs."""
+
+    reactor_name: str
+    src_cid: int
+    dst_cid: int
+    requested_at: float
+    state: str = DRAINING
+    #: The serving instance at the source (retired at the flip).
+    source: Any = None
+    #: The successor instance at the destination (set at the flip).
+    target: Any = None
+    flipped_at: float = 0.0
+    drain_polls: int = 0
+    rows_copied: int = 0
+    reason: str | None = None
+    on_done: Callable[["Migration"], None] | None = None
+    parked_roots: list[Any] = field(default_factory=list)
+    parked_subcalls: list[Any] = field(default_factory=list)
+    #: Scalar park counts for stats: the invocation lists are released
+    #: once replayed (and a superseded migration's snapshot with them),
+    #: so reporting cannot rely on their lengths.
+    roots_parked_n: int = 0
+    subcalls_parked_n: int = 0
+    #: Snapshot after-images the copy replayed (certification anchor).
+    snapshot_records: list[RedoRecord] = field(default_factory=list)
+    #: Source TID watermark the snapshot was taken at: every copied
+    #: commit has TID <= watermark, every destination commit after the
+    #: flip has TID > watermark.
+    watermark: int = 0
+    #: The redo logs live at the flip, for black-box certification
+    #: (record selection is by ``watermark``, robust to promotion
+    #: re-seeding): the source log must gain no entries for this
+    #: reactor above the watermark, and snapshot + destination entries
+    #: above it must replay to the live state (see
+    #: repro.formal.audit.certify_migration).
+    src_log: Any = None
+    dst_log: Any = None
+
+    @property
+    def done(self) -> bool:
+        return self.state == DONE
+
+
+@dataclass
+class MigrationStats:
+    """Counters ``db.migration_stats()`` exposes."""
+
+    started: int = 0
+    completed: int = 0
+    cancelled: int = 0
+    rows_copied: int = 0
+    roots_parked: int = 0
+    subcalls_parked: int = 0
+    rebalance_checks: int = 0
+    rebalance_moves: int = 0
+    events: list[Migration] = field(default_factory=list)
+
+
+class MigrationManager:
+    """Owns the online migrations and load accounting of one database."""
+
+    def __init__(self, database: Any, config: Any) -> None:
+        self.database = database
+        self.config = config
+        self.stats = MigrationStats()
+        #: reactor name -> in-progress Migration.
+        self.active: dict[str, Migration] = {}
+        #: reactor name -> last completed Migration; the previous one
+        #: is compacted (snapshot/log anchors released) when a new
+        #: migration of the same reactor supersedes it.
+        self._last_completed: dict[str, Migration] = {}
+        #: reactor name -> root submissions since the window reset
+        #: (the load signal rebalancing decides on).
+        self.load: dict[str, int] = {}
+        # Deferred import: policy only needs the manager.
+        from repro.migration.policy import ElasticPolicy
+
+        self.policy = ElasticPolicy(self, config)
+        if config.auto_rebalance:
+            self.policy.start(config.auto_rebalance_horizon_us)
+
+    # ------------------------------------------------------------------
+    # Load accounting (called from ReactorDatabase.submit)
+    # ------------------------------------------------------------------
+
+    def note_submit(self, reactor_name: str) -> None:
+        self.load[reactor_name] = self.load.get(reactor_name, 0) + 1
+
+    def reset_load_window(self) -> None:
+        """Start a fresh submission window (e.g. after a workload
+        shift, so rebalancing reacts to current rather than historic
+        skew)."""
+        self.load.clear()
+
+    # ------------------------------------------------------------------
+    # Parking (called from ReactorDatabase.submit and the executor)
+    # ------------------------------------------------------------------
+
+    def is_migrating(self, reactor_name: str) -> bool:
+        return reactor_name in self.active
+
+    def park_root(self, reactor_name: str, invocation: Any) -> None:
+        migration = self.active[reactor_name]
+        migration.parked_roots.append(invocation)
+        migration.roots_parked_n += 1
+        self.stats.roots_parked += 1
+
+    def park_subcall(self, reactor_name: str, invocation: Any) -> None:
+        migration = self.active[reactor_name]
+        migration.parked_subcalls.append(invocation)
+        migration.subcalls_parked_n += 1
+        self.stats.subcalls_parked += 1
+
+    # ------------------------------------------------------------------
+    # The migration itself
+    # ------------------------------------------------------------------
+
+    def migrate(self, reactor_name: str, dst_cid: int,
+                on_done: Callable[[Migration], None] | None = None
+                ) -> Migration:
+        """Start moving ``reactor_name`` to container ``dst_cid``.
+
+        Returns immediately with a :class:`Migration` handle; the
+        drain/copy/flip/replay pipeline runs in virtual time (drive the
+        scheduler to completion).  ``on_done(migration)`` fires when
+        the migration completes or is cancelled.
+        """
+        database = self.database
+        reactor = database.reactor(reactor_name)
+        if reactor_name in self.active:
+            raise MigrationError(
+                f"reactor {reactor_name!r} is already migrating")
+        containers = database.containers
+        if not 0 <= dst_cid < len(containers):
+            raise MigrationError(
+                f"destination container {dst_cid} does not exist "
+                f"({len(containers)} containers)")
+        src = reactor.container
+        if src.container_id == dst_cid:
+            raise MigrationError(
+                f"reactor {reactor_name!r} is already homed in "
+                f"container {dst_cid}")
+        if src.failed:
+            raise MigrationError(
+                f"source container {src.container_id} has failed; "
+                "promote a replica instead of migrating")
+        if containers[dst_cid].failed:
+            raise MigrationError(
+                f"destination container {dst_cid} has failed")
+        # Redo logging anchors the black-box migration certificate
+        # (and is already on when replication or durability is).
+        from repro.durability.recovery import enable_durability
+
+        enable_durability(database)
+
+        migration = Migration(
+            reactor_name=reactor_name,
+            src_cid=src.container_id,
+            dst_cid=dst_cid,
+            requested_at=database.scheduler.now,
+            source=reactor,
+            on_done=on_done,
+        )
+        self.active[reactor_name] = migration
+        self.stats.started += 1
+        reactor.migrating = True
+
+        # Sweep queued-but-unstarted roots targeting the reactor out of
+        # the source executors into the migration queue; they replay at
+        # the destination.  Queued *sub-calls* stay: their roots either
+        # touched the reactor already (they drain) or will touch it now
+        # (extending the drain barrier by one transaction).
+        swept = src.take_queued_roots(reactor)
+        migration.parked_roots.extend(swept)
+        migration.roots_parked_n += len(swept)
+        self.stats.roots_parked += len(swept)
+
+        database.scheduler.soon(self._poll_drain, migration)
+        return migration
+
+    # -- drain ----------------------------------------------------------
+
+    def _poll_drain(self, migration: Migration) -> None:
+        if migration.state != DRAINING:
+            return
+        database = self.database
+        reactor = migration.source
+        if database.reactor(migration.reactor_name) is not reactor or \
+                reactor.container.failed:
+            # The source failed over (promotion re-registered a replica
+            # shadow) or crashed without a successor: the source copy
+            # is gone, so the migration cannot proceed.
+            self._cancel(migration, "source container failed")
+            return
+        if self._drained(migration, reactor):
+            self._begin_copy(migration)
+            return
+        migration.drain_polls += 1
+        database.scheduler.after(self.config.drain_poll_us,
+                                 self._poll_drain, migration)
+
+    def _drained(self, migration: Migration, reactor: Reactor) -> bool:
+        if reactor.inflight_roots:
+            return False
+        # Sub-transactions register on the reactor at *dispatch* time
+        # (Section 2.2.4), so active_count() also covers sub-calls
+        # still in transport flight toward the source — invisible to
+        # both the in-flight set and the executor queues.
+        if reactor.active_count():
+            return False
+        src = self.database.containers[migration.src_cid]
+        return not src.has_queued_work_for(reactor)
+
+    # -- copy -----------------------------------------------------------
+
+    def _begin_copy(self, migration: Migration) -> None:
+        database = self.database
+        costs = database.costs
+        reactor = migration.source
+        src = reactor.container
+        # Snapshot the committed state as synthetic redo after-images,
+        # stamped with the source's TID watermark ("state as of every
+        # commit up to here") — the copy is then a log replay.
+        watermark = src.concurrency.tids.last
+        rows = 0
+        records: list[RedoRecord] = []
+        for table in reactor.catalog:
+            entries = []
+            for row in table.rows():
+                entries.append(RedoEntry(
+                    reactor=reactor.name, table=table.name,
+                    kind=INSERT,
+                    pk=table.schema.primary_key_of(row),
+                    row=dict(row)))
+            rows += len(entries)
+            if entries:
+                records.append(RedoRecord(watermark, tuple(entries)))
+        migration.snapshot_records = records
+        migration.rows_copied = rows
+        migration.watermark = watermark
+        migration.state = COPYING
+
+        copy_cost = costs.mig_copy_base + costs.mig_copy_per_row * rows
+        # The snapshot burns CPU at the source, the install at the
+        # destination (bookkeeping as for replica applies: the copy is
+        # a scheduler event, not an executor task).
+        if src.executors:
+            src.executors[0].busy_time += copy_cost
+        dst = database.containers[migration.dst_cid]
+        if dst.executors:
+            dst.executors[0].busy_time += copy_cost
+        database.scheduler.after(copy_cost + costs.mig_flip_cost,
+                                 self._flip, migration, watermark)
+
+    # -- flip + replay --------------------------------------------------
+
+    def _flip(self, migration: Migration, watermark: int) -> None:
+        database = self.database
+        old = migration.source
+        dst = database.containers[migration.dst_cid]
+        if database.reactor(migration.reactor_name) is not old or \
+                old.container.failed:
+            self._cancel(migration, "source container failed")
+            return
+        if dst.failed:
+            self._cancel(migration, "destination container failed")
+            return
+
+        new = Reactor(old.name, old.rtype)
+        new.container = dst
+        executor = dst.route(new)
+        new.affinity_executor = executor
+        if database.deployment.pin_reactors:
+            new.pinned_executor = executor
+        new.epoch = old.epoch + 1
+
+        def table_for(reactor_name: str, table_name: str):
+            return new.table(table_name)
+
+        for record in migration.snapshot_records:
+            apply_record_to(table_for, record)
+        # Commits at the destination must exceed every copied TID.
+        dst.concurrency.tids.advance_to(watermark)
+
+        recorder = database.history_recorder
+        if recorder is not None and hasattr(recorder, "alias_reactor"):
+            # The successor continues the same logical reactor: the
+            # serializability audit must see one identity across the
+            # migration, not two unrelated ones.
+            recorder.alias_reactor(old, new)
+        if database.replication is not None:
+            database.replication.on_reactor_migrated(
+                old, new, migration.snapshot_records)
+
+        # Certification anchors: the logs live at the flip instant.
+        durability = database.durability
+        if durability is not None:
+            migration.src_log = durability.logs.get(migration.src_cid)
+            migration.dst_log = durability.logs.get(migration.dst_cid)
+
+        # The atomic routing flip: one scheduler event, no transaction
+        # can observe a half-moved reactor.
+        database._reactors[old.name] = new
+        old.retired = True
+        old.migrating = False
+        old.migrated_to = new
+        migration.target = new
+        migration.flipped_at = database.scheduler.now
+        migration.state = DONE
+        del self.active[old.name]
+        self.stats.completed += 1
+        self.stats.rows_copied += migration.rows_copied
+        self.stats.events.append(migration)
+
+        # Replay parked work at the destination, in arrival order,
+        # paying a dispatch cost per replayed request.  The lists are
+        # released afterwards (the scheduled events carry the
+        # invocations), and a previously completed migration of the
+        # same reactor gives up its certification anchors too —
+        # certify_migration only state-checks the latest one.
+        replay = database.costs.mig_replay_per_txn
+        delay = 0.0
+        for invocation in migration.parked_roots:
+            delay += replay
+            database.scheduler.after(delay, self._replay_root,
+                                     invocation)
+        for invocation in migration.parked_subcalls:
+            delay += replay
+            database.scheduler.after(delay, self._replay_subcall,
+                                     invocation)
+        migration.parked_roots = []
+        migration.parked_subcalls = []
+        superseded = self._last_completed.get(old.name)
+        if superseded is not None:
+            superseded.snapshot_records = []
+            superseded.src_log = None
+            superseded.dst_log = None
+        self._last_completed[old.name] = migration
+        if migration.on_done is not None:
+            database.scheduler.soon(migration.on_done, migration)
+
+    def _replay_root(self, invocation: Any) -> None:
+        database = self.database
+        reactor = database.reactor(invocation.root.reactor_name)
+        if reactor.migrating:
+            # A back-to-back migration started before this replay ran:
+            # keep the invocation parked for the new migration.
+            self.park_root(reactor.name, invocation)
+            return
+        invocation.reactor = reactor
+        if reactor.container.failed:
+            root = invocation.root
+            root.finished = True
+            if database.replication is not None:
+                database.replication.stats.failover_aborts += 1
+            if invocation.on_root_done is not None:
+                database.scheduler.soon(
+                    invocation.on_root_done, root, False,
+                    f"container {reactor.container.container_id} "
+                    "failed", None)
+            return
+        database._route_root(reactor).submit(invocation)
+
+    def _replay_subcall(self, invocation: Any) -> None:
+        database = self.database
+        reactor = database.reactor(invocation.reactor.name)
+        if reactor.migrating:
+            self.park_subcall(reactor.name, invocation)
+            return
+        invocation.reactor = reactor
+        # executor.submit fails the result future itself when the
+        # container is down, so the caller aborts instead of hanging.
+        reactor.container.route(reactor).submit(invocation)
+
+    def _cancel(self, migration: Migration, reason: str) -> None:
+        database = self.database
+        migration.state = CANCELLED
+        migration.reason = reason
+        migration.source.migrating = False
+        self.active.pop(migration.reactor_name, None)
+        self.stats.cancelled += 1
+        self.stats.events.append(migration)
+        # Parked work is not lost: replay it against current routing
+        # (a promoted replica, or an abort report if the home is dead).
+        for invocation in migration.parked_roots:
+            self._replay_root(invocation)
+        for invocation in migration.parked_subcalls:
+            current = database.reactor(invocation.reactor.name)
+            if current.container.failed:
+                invocation.result_future.fail(
+                    MigrationAbort(
+                        f"migration of {migration.reactor_name!r} "
+                        f"cancelled: {reason}"),
+                    database.scheduler.now)
+            else:
+                self._replay_subcall(invocation)
+        migration.parked_roots = []
+        migration.parked_subcalls = []
+        if migration.on_done is not None:
+            database.scheduler.soon(migration.on_done, migration)
+
+    # ------------------------------------------------------------------
+    # Elastic rebalancing
+    # ------------------------------------------------------------------
+
+    def container_loads(self) -> list[int]:
+        """Submissions per container over the current window (load of
+        reactors mid-migration counts toward their destination)."""
+        database = self.database
+        loads = [0] * len(database.containers)
+        for name, count in self.load.items():
+            if name in self.active:
+                loads[self.active[name].dst_cid] += count
+                continue
+            if name in database:
+                cid = database.reactor(name).container.container_id
+                loads[cid] += count
+        return loads
+
+    def rebalance(self) -> list[Migration]:
+        """One elastic check: migrate the hottest reactors off
+        overloaded containers.  Returns the migrations started."""
+        database = self.database
+        self.stats.rebalance_checks += 1
+        n_containers = len(database.containers)
+        loads = self.container_loads()
+        total = sum(loads)
+        if n_containers < 2 or total == 0:
+            return []
+        mean = total / n_containers
+        threshold = self.config.imbalance_threshold * mean
+        # Hottest reactors per container, from the submission window.
+        by_container: dict[int, list[tuple[int, str]]] = {}
+        for name, count in sorted(self.load.items()):
+            if name in self.active or name not in database:
+                continue
+            reactor = database.reactor(name)
+            if reactor.container.failed:
+                continue
+            cid = reactor.container.container_id
+            by_container.setdefault(cid, []).append((count, name))
+        for candidates in by_container.values():
+            candidates.sort(reverse=True)
+
+        moves: list[Migration] = []
+        # Containers whose overload rebalancing cannot improve
+        # (inherent single-reactor skew, no movable candidate): skipped
+        # rather than ending the check, so a *different* overloaded
+        # container still gets its turn within the move budget.
+        unfixable: set[int] = set()
+        while len(moves) < self.config.max_moves_per_check:
+            sources = [cid for cid in range(n_containers)
+                       if cid not in unfixable]
+            if not sources:
+                break
+            src_cid = max(sources, key=loads.__getitem__)
+            if loads[src_cid] <= threshold:
+                break
+            dst_cid = min(
+                (cid for cid in range(n_containers)
+                 if not database.containers[cid].failed),
+                key=loads.__getitem__, default=None)
+            if dst_cid is None or dst_cid == src_cid:
+                break
+            candidates = by_container.get(src_cid, [])
+            move = None
+            for index, (count, name) in enumerate(candidates):
+                # Only move a reactor if that actually reduces the
+                # imbalance between the two containers.
+                if loads[dst_cid] + count < loads[src_cid]:
+                    move = (index, count, name)
+                    break
+            if move is None:
+                unfixable.add(src_cid)
+                continue
+            index, count, name = move
+            candidates.pop(index)
+            moves.append(self.migrate(name, dst_cid))
+            loads[src_cid] -= count
+            loads[dst_cid] += count
+            self.stats.rebalance_moves += 1
+        self.reset_load_window()
+        return moves
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats_dict(self) -> dict[str, Any]:
+        stats = self.stats
+        return {
+            "started": stats.started,
+            "completed": stats.completed,
+            "cancelled": stats.cancelled,
+            "active": sorted(self.active),
+            "rows_copied": stats.rows_copied,
+            "roots_parked": stats.roots_parked,
+            "subcalls_parked": stats.subcalls_parked,
+            "rebalance_checks": stats.rebalance_checks,
+            "rebalance_moves": stats.rebalance_moves,
+            "events": [
+                {
+                    "reactor": m.reactor_name,
+                    "src": m.src_cid,
+                    "dst": m.dst_cid,
+                    "state": m.state,
+                    "requested_at_us": round(m.requested_at, 3),
+                    "flipped_at_us": round(m.flipped_at, 3),
+                    "drain_polls": m.drain_polls,
+                    "rows_copied": m.rows_copied,
+                    "roots_parked": m.roots_parked_n,
+                    "subcalls_parked": m.subcalls_parked_n,
+                    "reason": m.reason,
+                }
+                for m in stats.events
+            ],
+        }

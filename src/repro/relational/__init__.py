@@ -5,6 +5,15 @@ of :class:`~repro.relational.table.Table` instances built from
 :class:`~repro.relational.schema.TableSchema` definitions.  Declarative
 queries are supported *only within* a reactor (paper Section 2.2.1);
 cross-reactor access is always an asynchronous procedure call.
+
+Public exports: schema builders (``make_schema``, the ``*_col``
+helpers, :class:`TableSchema`, :class:`IndexSpec`), the storage
+objects (:class:`Catalog`, :class:`Table`), the predicate algebra
+(``col``, :class:`Comparison`, :class:`Between`, :class:`InSet`,
+:class:`Lambda`, :data:`ALWAYS`) and the query pipeline
+(:class:`Query` with its aggregates); the SQL front end stays in
+:mod:`repro.relational.sql` (``execute`` / ``parse``), reached through
+``ctx.sql(...)``.
 """
 
 from repro.relational.catalog import Catalog

@@ -8,6 +8,13 @@ whether read-only root transactions are served from replicas, and —
 via :class:`ReplicationManager` — how a replica is promoted to primary
 when its container fails.  Application code never changes.
 
+Public exports: :class:`ReplicationConfig` (with
+:data:`NO_REPLICATION` and the ``SYNC`` / ``ASYNC`` / ``NONE`` mode
+constants), :class:`ReplicationManager` with its
+:class:`ReplicationStats` / :class:`FailoverEvent`, and
+:class:`ReplicaContainer` with the ``ROLE_PRIMARY`` /
+``ROLE_REPLICA`` role markers.
+
 Only the config is imported eagerly: :mod:`repro.core.deployment`
 imports this package while :mod:`repro.core.database` (which the
 manager needs through the durability layer) is still initializing, so

@@ -253,6 +253,45 @@ class ReplicationManager:
             replica.mirror_load(reactor_name, table_name, rows)
 
     # ------------------------------------------------------------------
+    # Online migration (called by repro.migration at the routing flip)
+    # ------------------------------------------------------------------
+
+    def on_reactor_migrated(self, old_reactor: Any, new_reactor: Any,
+                            snapshot_records: list[RedoRecord]) -> None:
+        """Re-home a migrated reactor's replica shards.
+
+        Every replica of the destination container gains a shadow of
+        the successor, seeded with the migration's snapshot
+        after-images; the snapshot becomes the audit's replay baseline
+        for the reactor at its new home, fenced so that stale entries
+        from a previous residence in the same container cannot replay
+        over it.  The source replicas keep their applied history — a
+        replica mirrors its primary's full shipped order — but the
+        shard is no longer served (or promoted into routing) there.
+        """
+        dst_cid = new_reactor.container.container_id
+        pin = self.database.deployment.pin_reactors
+        base = self.base_rows.setdefault(dst_cid, {})
+        # Every table gets a (possibly empty) snapshot baseline: a
+        # table that emptied since a previous residence here must
+        # overwrite its stale base rows, not keep them.
+        by_table: dict[str, list[dict[str, Any]]] = {
+            table.name: [] for table in new_reactor.catalog}
+        for record in snapshot_records:
+            for entry in record.entries:
+                assert entry.row is not None
+                by_table.setdefault(entry.table, []).append(
+                    dict(entry.row))
+        for table_name, rows in by_table.items():
+            base[(new_reactor.name, table_name)] = rows
+        for replica in self.replicas.get(dst_cid, []):
+            replica.add_shadow(new_reactor, pin=pin)
+            replica.reactor_fences[new_reactor.name] = \
+                len(replica.applied_records)
+            for table_name, rows in by_table.items():
+                replica.mirror_load(new_reactor.name, table_name, rows)
+
+    # ------------------------------------------------------------------
     # Read-replica routing
     # ------------------------------------------------------------------
 

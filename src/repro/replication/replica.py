@@ -47,6 +47,13 @@ class ReplicaContainer(Container):
         #: Highest commit TID applied (0 when nothing arrived yet).
         self.applied_tid = 0
         self._shadows: dict[str, Reactor] = {}
+        #: reactor name -> applied-record index before which shipped
+        #: entries for that reactor are skipped.  Set when an online
+        #: migration re-homes a reactor here: the shadow is seeded from
+        #: the migration snapshot, and any *older* entries for the same
+        #: name still in the primary's history (the reactor lived here
+        #: before) must not replay over it.
+        self.reactor_fences: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     # Shadow reactors
@@ -89,8 +96,26 @@ class ReplicaContainer(Container):
         never observe a torn record, and OCC read sessions that
         overlapped the apply fail validation — replica reads are always
         a consistent prefix of the primary's commit order.
+
+        Entries for a reactor re-homed here by a migration are skipped
+        while this replica's applied position is below the reactor's
+        fence (the record itself still joins ``applied_records``, so
+        the prefix invariant the audit certifies is untouched).
         """
-        apply_record_to(self._table_for, record)
+        if self.reactor_fences:
+            position = len(self.applied_records)
+            kept = tuple(
+                entry for entry in record.entries
+                if position >= self.reactor_fences.get(
+                    entry.reactor, 0))
+            if len(kept) != len(record.entries):
+                apply_record_to(
+                    self._table_for,
+                    RedoRecord(record.commit_tid, kept))
+            else:
+                apply_record_to(self._table_for, record)
+        else:
+            apply_record_to(self._table_for, record)
         self.applied_records.append(record)
         self.applied_tids.add(record.commit_tid)
         if record.commit_tid > self.applied_tid:

@@ -6,6 +6,12 @@ collection of isolated containers, each with transaction executors
 routing, asynchronous sub-transaction dispatch with asymmetric
 communication costs, and the dynamic intra-transaction safety
 condition.
+
+Public exports: :class:`Container`, :class:`TransactionExecutor` with
+its :class:`Invocation` request envelope, :class:`SimFuture`, the
+procedure effects (:class:`CallEffect`, :class:`GetEffect`,
+:class:`ChargeEffect`), and the root-transaction bookkeeping
+(:class:`RootTransaction`, :class:`TxnStats`, :data:`CATEGORIES`).
 """
 
 from repro.runtime.container import Container

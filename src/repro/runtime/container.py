@@ -58,6 +58,35 @@ class Container:
         self._route_counter += 1
         return executor
 
+    # -- online migration support (repro.migration) --------------------
+
+    def take_queued_roots(self, reactor: Any) -> list:
+        """Remove and return queued-but-unstarted root invocations
+        targeting ``reactor`` from this container's executors.
+
+        The migration sweep parks these in the migration queue so they
+        replay at the destination instead of racing the drain barrier.
+        """
+        taken: list = []
+        for executor in self.executors:
+            kept = []
+            for invocation in executor.queue:
+                if invocation.is_root and invocation.reactor is reactor:
+                    taken.append(invocation)
+                else:
+                    kept.append(invocation)
+            if len(kept) != len(executor.queue):
+                executor.queue.clear()
+                executor.queue.extend(kept)
+        return taken
+
+    def has_queued_work_for(self, reactor: Any) -> bool:
+        """Is any queued invocation (root or sub-call) still targeting
+        ``reactor``?  Part of the migration drain barrier."""
+        return any(invocation.reactor is reactor
+                   for executor in self.executors
+                   for invocation in executor.queue)
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Container({self.container_id}, "
                 f"executors={len(self.executors)})")

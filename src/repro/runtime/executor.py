@@ -220,6 +220,13 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
 
     def _start_invocation(self, invocation: Invocation) -> None:
+        if invocation.reactor.retired and \
+                self._forward_stale(invocation):
+            # The reactor migrated away while this request waited in a
+            # queue the migration sweep did not cover; it was handed to
+            # the successor's executor instead of running here.
+            self._kick()
+            return
         self.requests_served += 1
         root = invocation.root
         reactor = invocation.reactor
@@ -256,6 +263,33 @@ class TransactionExecutor:
         else:
             self._step(task, _NOTHING, None)
 
+    def _forward_stale(self, invocation: Invocation) -> bool:
+        """Re-target an invocation whose reactor was retired by an
+        online migration; returns ``True`` when it was re-submitted to
+        another executor (and must not start here)."""
+        reactor = invocation.reactor
+        while reactor.retired and reactor.migrated_to is not None:
+            reactor = reactor.migrated_to
+        invocation.reactor = reactor
+        database = self.container.database
+        if reactor.migrating:
+            # The successor is itself mid-migration (back-to-back):
+            # the request belongs in that migration's parked queue.
+            migration = database.migration
+            if invocation.is_root:
+                migration.park_root(reactor.name, invocation)
+            else:
+                migration.park_subcall(reactor.name, invocation)
+            return True
+        if invocation.is_root:
+            target = database._route_root(reactor)
+        else:
+            target = self._sub_call_target(reactor)
+        if target is not self:
+            target.submit(invocation)
+            return True
+        return False
+
     def _push_frame(self, task: Task, reactor: Any, subtxn_id: int,
                     entered: bool, proc_name: str, args: tuple,
                     kwargs: dict) -> Frame:
@@ -282,6 +316,10 @@ class TransactionExecutor:
             factor = 1.0 + (self.costs.cold_access_factor - 1.0) * \
                 (1.0 - warmth)
             root.touched_reactors[reactor.name] = factor
+            # Online migration drains on this set: the reactor cannot
+            # be copied away while a root that touched it is in flight.
+            reactor.inflight_roots.add(root.txn_id)
+            root.reactor_refs.append(reactor)
 
     # ------------------------------------------------------------------
     # The trampoline
@@ -391,6 +429,30 @@ class TransactionExecutor:
             self._run_inline(task, reactor, call,
                              subtxn_id=task.frames[-1].subtxn_id,
                              entered=False)
+            return
+
+        migration = getattr(database, "migration", None)
+        if migration is not None and reactor.migrating and \
+                root.txn_id not in reactor.inflight_roots:
+            # The callee is mid-migration and this transaction holds no
+            # stake in the source copy (a transaction that already
+            # touched it keeps running there and drains).  Park the
+            # sub-call: it replays on the destination container after
+            # the routing flip, so the transaction spans the migration
+            # and commits through 2PC like any cross-container one.
+            subtxn_id = root.next_subtxn_id()
+            future = SimFuture(remote=True, subtxn_id=subtxn_id,
+                               target_reactor=reactor.name)
+            future.birth_seq = root.effect_seq
+            task.frames[-1].pending.append(future)
+            root.remote_calls += 1
+            invocation = Invocation(root, reactor, call.proc_name,
+                                    call.args, call.kwargs,
+                                    subtxn_id=subtxn_id,
+                                    result_future=future)
+            migration.park_subcall(reactor.name, invocation)
+            self._busy(task, self.costs.cs, "cs",
+                       lambda: self._step(task, future, None))
             return
 
         target = self._sub_call_target(reactor)
@@ -662,6 +724,8 @@ class TransactionExecutor:
                        reason: str | None, result: Any) -> None:
         root = task.root
         root.finished = True
+        for reactor in root.reactor_refs:
+            reactor.inflight_roots.discard(root.txn_id)
         recorder = self.container.database.history_recorder
         if recorder is not None:
             if committed:

@@ -65,7 +65,7 @@ class RootTransaction:
         "sessions", "_subtxn_counter", "touched_reactors",
         "breakdown", "remote_calls", "on_complete", "finished",
         "user_abort", "client_worker", "effect_seq", "commit_tid",
-        "doomed", "read_only",
+        "doomed", "read_only", "reactor_refs",
     )
 
     def __init__(self, txn_id: int, procedure: str, reactor_name: str,
@@ -83,6 +83,10 @@ class RootTransaction:
         #: transaction's first touch (cache-affinity model: 1.0 warm,
         #: up to cold_access_factor when fully cold).
         self.touched_reactors: dict[str, float] = {}
+        #: The reactor *instances* behind ``touched_reactors``: online
+        #: migration drains on per-instance in-flight root sets, which
+        #: the executor clears through these references at completion.
+        self.reactor_refs: list[Any] = []
         self.breakdown: dict[str, float] = {c: 0.0 for c in CATEGORIES}
         self.remote_calls = 0
         self.on_complete = on_complete

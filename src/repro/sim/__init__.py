@@ -10,6 +10,13 @@ the paper's latency analysis.
 See DESIGN.md section 1 for why the reproduction simulates hardware
 instead of using OS threads (Python's GIL makes real multicore
 microsecond-scale measurements meaningless).
+
+Public exports: :class:`SimScheduler` / :class:`Event`,
+:class:`VirtualClock`, :class:`CostParameters`,
+:class:`MachineProfile` with the two paper testbeds
+(:data:`XEON_E3_1276`, :data:`OPTERON_6274`) and ``get_profile``, and
+the deterministic random streams (:class:`RngFactory`,
+:class:`ZipfianGenerator`).
 """
 
 from repro.sim.clock import VirtualClock

@@ -71,6 +71,15 @@ class CostParameters:
     repl_apply_per_write: float = 0.12
     repl_ack_delay: float = 2.0
 
+    # Online reactor migration (repro.migration): fixed setup cost of a
+    # state copy, per-copied-row snapshot+install cost, the atomic
+    # routing flip, and the per-transaction dispatch cost of replaying
+    # work that queued at the destination during the migration.
+    mig_copy_base: float = 6.0
+    mig_copy_per_row: float = 0.15
+    mig_flip_cost: float = 1.0
+    mig_replay_per_txn: float = 0.5
+
     # Cache-affinity modelling: operations on a reactor whose data was
     # last touched by a different core are penalized by this factor for
     # the duration of the transaction (the reactor then becomes warm on
@@ -98,7 +107,8 @@ class CostParameters:
                 "occ_install_per_write", "occ_commit_base",
                 "tpc_prepare_per_container", "abort_cost", "rand_cost",
                 "repl_ship_delay", "repl_apply_per_write",
-                "repl_ack_delay",
+                "repl_ack_delay", "mig_copy_base", "mig_copy_per_row",
+                "mig_flip_cost", "mig_replay_per_txn",
             )
         }
         return replace(self, **fields)

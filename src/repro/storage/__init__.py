@@ -4,6 +4,10 @@ The record manager interface the paper mentions ("pre-compiled stored
 procedures ... against a record manager interface") is realized by
 :class:`~repro.concurrency.occ.OCCSession`, which overlays uncommitted
 writes on the committed :class:`~repro.relational.table.Table` state.
+
+Public exports: :class:`VersionedRecord` — the committed row container
+carrying the Silo-style TID word and lock state every CC scheme
+operates on.
 """
 
 from repro.storage.record import VersionedRecord

@@ -8,4 +8,13 @@
   (Appendix C);
 * :mod:`repro.workloads.exchange` — the digital currency exchange of
   Figure 1 (Appendix G).
+
+Public exports are the four workload submodules themselves (imported
+eagerly so ``from repro.workloads import smallbank, tpcc`` works
+without touching module internals); each submodule exposes its
+reactor-type declarations, a loader, and a closed-loop workload class.
 """
+
+from repro.workloads import exchange, smallbank, tpcc, ycsb  # noqa: F401
+
+__all__ = ["smallbank", "tpcc", "ycsb", "exchange"]

@@ -1,4 +1,13 @@
-"""TPC-C benchmark port: warehouse = reactor (paper Section 4.1.3)."""
+"""TPC-C benchmark port: warehouse = reactor (paper Section 4.1.3).
+
+Public exports: the reactor type (:data:`WAREHOUSE` with
+``warehouse_schema`` / ``warehouse_name`` / ``warehouse_id`` and
+:class:`TpccScale`), the loader (``declarations``, ``load``,
+``last_name``), the closed-loop driver (:class:`TpccWorkload` with the
+:data:`STANDARD_MIX` / :data:`NEW_ORDER_ONLY` mixes and ``nurand``)
+and the twelve TPC-C consistency checks (``check_database`` /
+``check_warehouse`` / :class:`ConsistencyViolation`).
+"""
 
 from repro.workloads.tpcc.consistency import (
     ConsistencyViolation,

@@ -1,0 +1,52 @@
+"""The documentation tree stays internally consistent.
+
+Runs the same checker the CI ``docs-check`` job uses: every relative
+markdown link in the repository must resolve to an existing file, and
+the core documents the README promises must exist.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location(
+        "check_docs_links",
+        REPO_ROOT / "tools" / "check_docs_links.py")
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    sys.modules.setdefault("check_docs_links", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_intra_repo_markdown_links():
+    checker = _load_checker()
+    broken = checker.broken_links(REPO_ROOT)
+    assert broken == [], (
+        "broken markdown links: "
+        + ", ".join(f"{f.relative_to(REPO_ROOT)} -> {t}"
+                    for f, t in broken))
+
+def test_docs_tree_exists_and_is_linked():
+    for name in ("architecture.md", "deployment.md", "benchmarks.md"):
+        assert (REPO_ROOT / "docs" / name).is_file(), name
+    readme = (REPO_ROOT / "README.md").read_text()
+    for name in ("docs/architecture.md", "docs/deployment.md",
+                 "docs/benchmarks.md"):
+        assert name in readme, f"README does not link {name}"
+
+
+def test_checker_detects_breakage(tmp_path):
+    checker = _load_checker()
+    (tmp_path / "a.md").write_text(
+        "see [missing](nowhere.md) and [ok](b.md) and "
+        "[web](https://example.com) and [anchor](#sec)")
+    (tmp_path / "b.md").write_text("fine")
+    broken = checker.broken_links(tmp_path)
+    assert [(f.name, t) for f, t in broken] == [("a.md", "nowhere.md")]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Fail on broken intra-repository markdown links.
+
+Scans every ``*.md`` file in the repository (skipping ``.git`` and
+generated ``benchmarks/results``) for inline markdown links and
+reference definitions, and verifies that every relative target exists
+on disk.  External links (``http``/``https``/``mailto``) and pure
+in-page anchors are ignored; a ``#fragment`` suffix on a file link is
+stripped before the existence check.
+
+Used by the CI ``docs-check`` job and by ``tests/test_docs_links.py``,
+so a renamed or deleted file breaks the build instead of the docs.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SKIP_DIRS = {".git", "results", "__pycache__", ".pytest_cache"}
+
+#: Inline links ``[text](target)`` — target must not itself contain
+#: parentheses or whitespace (none of ours do).
+INLINE_LINK = re.compile(r"\[[^\]]*\]\(([^()\s]+)\)")
+#: Reference definitions ``[label]: target``.
+REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def markdown_files(root: Path) -> list[Path]:
+    files = []
+    for path in sorted(root.rglob("*.md")):
+        if not SKIP_DIRS.intersection(part for part in path.parts):
+            files.append(path)
+    return files
+
+
+def link_targets(text: str) -> list[str]:
+    return INLINE_LINK.findall(text) + REFERENCE_DEF.findall(text)
+
+
+def broken_links(root: Path) -> list[tuple[Path, str]]:
+    """All (markdown file, target) pairs whose target is missing."""
+    broken: list[tuple[Path, str]] = []
+    for md_file in markdown_files(root):
+        for target in link_targets(md_file.read_text()):
+            if target.startswith(EXTERNAL_PREFIXES):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure in-page anchor
+                continue
+            if path_part.startswith("/"):
+                resolved = root / path_part.lstrip("/")
+            else:
+                resolved = md_file.parent / path_part
+            if not resolved.exists():
+                broken.append((md_file, target))
+    return broken
+
+
+def main() -> int:
+    root = REPO_ROOT
+    files = markdown_files(root)
+    broken = broken_links(root)
+    for md_file, target in broken:
+        print(f"BROKEN: {md_file.relative_to(root)} -> {target}")
+    print(f"checked {len(files)} markdown files, "
+          f"{len(broken)} broken links")
+    return 1 if broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
