@@ -70,7 +70,7 @@ def transfer(ctx, destination, amount):
 # ----------------------------------------------------------------------
 
 def demo(deployment):
-    names = [f"alice", f"bob", f"carol", f"dave"]
+    names = ["alice", "bob", "carol", "dave"]
     db = ReactorDatabase(deployment, [(n, account) for n in names])
     for name in names:
         db.run(name, "open_account", 100.0)

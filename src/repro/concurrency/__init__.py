@@ -2,9 +2,10 @@
 
 The scheme a database runs under is a deployment-time choice
 (``DeploymentConfig.cc_scheme``): Silo-style OCC
-(:mod:`repro.concurrency.occ`), two-phase locking with NO_WAIT or
-WAIT_DIE conflict resolution (:mod:`repro.concurrency.locking`), or
-the explicit no-CC passthrough
+(:mod:`repro.concurrency.occ`), multi-version OCC with snapshot-
+isolated read-only roots (:mod:`repro.concurrency.mvcc`), two-phase
+locking with NO_WAIT or WAIT_DIE conflict resolution
+(:mod:`repro.concurrency.locking`), or the explicit no-CC passthrough
 (:class:`~repro.concurrency.base.PassthroughCC`).  All schemes
 implement the :class:`~repro.concurrency.base.ConcurrencyControl`
 protocol; transactions that span containers commit through
@@ -41,6 +42,7 @@ from repro.concurrency.locking import (
     LockingSession,
     LockManager,
 )
+from repro.concurrency.mvcc import MVConcurrencyManager, SnapshotSession
 from repro.concurrency.occ import ConcurrencyManager, OCCSession
 from repro.concurrency.tid import (
     EPOCH_PERIOD_US,
@@ -57,7 +59,9 @@ __all__ = [
     "CCStats",
     "ConcurrencyControl",
     "ConcurrencyManager",
+    "MVConcurrencyManager",
     "OCCSession",
+    "SnapshotSession",
     "PassthroughCC",
     "LockingCC",
     "LockingSession",

@@ -25,8 +25,11 @@ manager:
 
 * :func:`register_cc_scheme` / :func:`create_cc_scheme` — the scheme
   registry.  Built-in schemes: ``"occ"`` (Silo-style optimistic,
-  :mod:`repro.concurrency.occ`), ``"2pl_nowait"`` and ``"2pl_waitdie"``
-  (two-phase locking, :mod:`repro.concurrency.locking`), and ``"none"``
+  :mod:`repro.concurrency.occ`), ``"mvocc"`` (multi-version OCC:
+  Silo-OCC writers plus abort-free snapshot-isolated read-only roots,
+  :mod:`repro.concurrency.mvcc`), ``"2pl_nowait"`` and
+  ``"2pl_waitdie"`` (two-phase locking,
+  :mod:`repro.concurrency.locking`), and ``"none"``
   (:class:`PassthroughCC`, the explicit no-concurrency-control scheme
   that replaced the old ``cc_enabled`` bool).
 
@@ -44,8 +47,8 @@ from repro.errors import (
     DeploymentError,
     DuplicateKeyError,
     QueryError,
+    ReadOnlyViolation,
     RecordNotFound,
-    UserAbort,
 )
 from repro.concurrency.tid import EpochManager, TidGenerator
 from repro.relational.index import HashIndex, OrderedIndex
@@ -58,6 +61,21 @@ Row = dict[str, Any]
 INSERT = "insert"
 UPDATE = "update"
 DELETE = "delete"
+
+
+def require_hash_equality(index_name: str, low: tuple | None,
+                          high: tuple | None) -> None:
+    """The shared hash-index scan contract: equality only.
+
+    One definition for every session kind (validated and snapshot), so
+    a procedure's scans behave identically whichever session serves
+    them.
+    """
+    if low is None or low != high:
+        raise QueryError(
+            f"hash index {index_name!r} supports equality only; "
+            "pass low == high"
+        )
 
 
 class WriteIntent:
@@ -177,13 +195,16 @@ class CCSession:
         """Refuse writes of read-only root transactions.
 
         A root marked read-only may have been routed to a read replica
-        (see :mod:`repro.replication`); its writes must abort rather
-        than mutate replica state — and for symmetry the same contract
-        holds when it ran on the primary.
+        (see :mod:`repro.replication`) or be running on a multi-version
+        snapshot; its writes must abort rather than mutate state the
+        reader was promised not to touch — and for symmetry the same
+        contract holds when it ran on the primary.  Every mutation path
+        (insert, update, delete) raises the same typed
+        :class:`~repro.errors.ReadOnlyViolation`.
         """
         if self.owner is not None and \
                 getattr(self.owner, "read_only", False):
-            raise UserAbort(
+            raise ReadOnlyViolation(
                 f"read-only transaction {self.txn_id} attempted a "
                 "write"
             )
@@ -211,6 +232,17 @@ class CCSession:
 
     @property
     def read_count(self) -> int:
+        return len(self._reads)
+
+    @property
+    def validation_read_count(self) -> int:
+        """Reads commit-time validation must walk.
+
+        Equals :attr:`read_count` for validated sessions; snapshot
+        sessions override it to 0 — their reads pin a version, nothing
+        is re-checked at commit, so the commit path charges nothing
+        per read.
+        """
         return len(self._reads)
 
     @property
@@ -370,11 +402,7 @@ class CCSession:
             if isinstance(idx, OrderedIndex):
                 pks = list(idx.range(low, high))
             else:
-                if low is None or low != high:
-                    raise QueryError(
-                        f"hash index {index!r} supports equality only; "
-                        "pass low == high"
-                    )
+                require_hash_equality(index, low, high)
                 pks = list(idx.lookup(low))
             records = list(table.records_for_pks(pks))
             columns = idx.spec.columns
@@ -501,8 +529,31 @@ class ConcurrencyControl:
 
     # -- protocol -------------------------------------------------------
 
+    @staticmethod
+    def is_snapshot_session(session: CCSession) -> bool:
+        """Snapshot sessions validate nothing: every scheme's
+        ``validate`` short-circuits them *before* counting a
+        validation, so CC stats reflect only validated sessions."""
+        return getattr(session, "snapshot_tid", None) is not None
+
     def begin_session(self, txn_id: int) -> CCSession:
         raise NotImplementedError
+
+    def begin_snapshot_session(self, txn_id: int, snapshot_tid: int,
+                               storage: Any = None) -> CCSession:
+        """A snapshot-isolated read-only session pinned at
+        ``snapshot_tid``.
+
+        Available under every scheme — whether snapshot reads are
+        *used* is the deployment's choice (``cc_scheme="mvocc"`` or
+        the ``snapshot_reads`` toggle); the session takes no locks,
+        validates nothing, and can never abort, so it composes with
+        any writer protocol this manager runs.
+        """
+        from repro.concurrency.mvcc import SnapshotSession
+
+        return SnapshotSession(txn_id, self.container_id, snapshot_tid,
+                               storage=storage)
 
     def validate(self, session: CCSession) -> int:
         """Phase-1 validation; returns the TID floor for the commit TID.
@@ -606,6 +657,8 @@ class PassthroughCC(ConcurrencyControl):
         return CCSession(txn_id, self.container_id)
 
     def validate(self, session: CCSession) -> int:
+        if self.is_snapshot_session(session):
+            return 0
         self.stats.validations += 1
         return 0
 
@@ -629,7 +682,8 @@ class PassthroughCC(ConcurrencyControl):
 # ----------------------------------------------------------------------
 
 #: The deployment-selectable scheme names shipped with the system.
-BUILTIN_CC_SCHEMES = ("occ", "2pl_nowait", "2pl_waitdie", "none")
+BUILTIN_CC_SCHEMES = ("occ", "mvocc", "2pl_nowait", "2pl_waitdie",
+                      "none")
 
 _SCHEME_FACTORIES: dict[
     str, Callable[[int, EpochManager], ConcurrencyControl]] = {}
@@ -648,8 +702,10 @@ def register_cc_scheme(name: str):
 
 
 def _ensure_builtin_schemes() -> None:
-    # Deferred: occ/locking import this module for the base classes.
+    # Deferred: occ/locking/mvcc import this module for the base
+    # classes.
     import repro.concurrency.locking  # noqa: F401
+    import repro.concurrency.mvcc  # noqa: F401
     import repro.concurrency.occ  # noqa: F401
 
 

@@ -311,11 +311,17 @@ class LockingCC(ConcurrencyControl):
     def begin_session(self, txn_id: int) -> LockingSession:
         return LockingSession(txn_id, self.container_id, self.locks)
 
-    def validate(self, session: "LockingSession") -> int:
+    def validate(self, session: CCSession) -> int:
         """Commit-time check: locks were acquired during execution, so
         validation only re-checks the doom flag (a victim that never
-        touched data again after being wounded is caught here)."""
+        touched data again after being wounded is caught here).
+        Snapshot sessions (the ``snapshot_reads`` toggle) hold no
+        locks and cannot be wounded — nothing to check, and nothing
+        counted."""
+        if self.is_snapshot_session(session):
+            return 0
         self.stats.validations += 1
+        assert isinstance(session, LockingSession)
         if session.is_doomed():
             raise WoundAbort(
                 f"txn {session.txn_id} was wounded before commit"

@@ -71,6 +71,8 @@ class ConcurrencyManager(ConcurrencyControl):
         Returns the TID floor for the commit TID.  Raises
         :class:`ValidationAbort` (after releasing locks) on conflict.
         """
+        if self.is_snapshot_session(session):
+            return 0
         self.stats.validations += 1
         if not self.enabled:
             return 0

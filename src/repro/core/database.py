@@ -36,6 +36,7 @@ from repro.runtime.container import Container
 from repro.runtime.executor import Invocation, TransactionExecutor
 from repro.runtime.transaction import RootTransaction, TxnStats
 from repro.sim.scheduler import SimScheduler
+from repro.storage.store import StorageCoordinator
 
 
 class ReactorDatabase:
@@ -48,6 +49,14 @@ class ReactorDatabase:
         self.scheduler = scheduler or SimScheduler()
         self.costs = deployment.machine.costs
         self.epochs = EpochManager()
+        #: The multi-version storage engine state: pinned snapshots of
+        #: in-flight read-only roots (the GC watermark source), version
+        #: counters, and the optional snapshot-read audit log.  Shared
+        #: by primary, replica, and migration-successor tables.
+        self.storage = StorageCoordinator()
+        #: Are read-only roots served from snapshots?  (``mvocc`` or
+        #: the deployment's ``snapshot_reads`` toggle.)
+        self.snapshot_reads_enabled = deployment.snapshot_reads_effective
         self.containers: list[Container] = []
         self.executors: list[TransactionExecutor] = []
         self._reactors: dict[str, Reactor] = {}
@@ -98,6 +107,7 @@ class ReactorDatabase:
             if name in self._reactors:
                 raise DeploymentError(f"duplicate reactor name {name!r}")
             reactor = Reactor(name, rtype)
+            self.storage.adopt(reactor)
             cid = deployment.placement.container_for(
                 name, index, n_containers)
             if not 0 <= cid < n_containers:
@@ -211,6 +221,104 @@ class ReactorDatabase:
             self._root_route_counter += 1
             return executor
         return reactor.affinity_executor
+
+    # ------------------------------------------------------------------
+    # Multi-version snapshot reads (repro.storage / repro.concurrency.
+    # mvcc)
+    # ------------------------------------------------------------------
+
+    def tid_watermark(self) -> int:
+        """The global commit-TID watermark: the highest TID any
+        container has issued (every commit is fully installed at or
+        below it — installs are single scheduler events)."""
+        return max(c.concurrency.tids.last for c in self.containers)
+
+    def begin_snapshot_session(self, root: RootTransaction,
+                               container: Any):
+        """A snapshot session for a read-only root in ``container``,
+        or ``None`` when the deployment does not snapshot reads.
+
+        The first session of a root pins its snapshot: on a primary,
+        at the global TID watermark — every primary TID generator is
+        then advanced to it, so every later commit anywhere exceeds
+        the snapshot and the pinned state is a transaction-consistent
+        prefix; on a replica, at the replica's applied watermark
+        (bounded-staleness reads over its applied log prefix).  The
+        pin also anchors version GC until the root completes.
+        """
+        if not self.snapshot_reads_enabled:
+            return None
+        if root.snapshot_tid is None:
+            if getattr(container, "role", None) == "replica":
+                # Replica-scoped pin: retains history only on this
+                # replica's shadows (the sole tables it can read).
+                # The pin sits at the replica's *materialized*
+                # position — its applied watermark, floored by any
+                # migration seed watermark (re-homed shards are seeded
+                # as-of the source watermark).
+                snapshot_tid = max(container.applied_tid,
+                                   getattr(container,
+                                           "snapshot_floor", 0))
+                self.storage.pin(root.txn_id, snapshot_tid,
+                                 scope=container)
+            else:
+                snapshot_tid = self.tid_watermark()
+                for other in self.containers:
+                    other.concurrency.tids.advance_to(snapshot_tid)
+                self.storage.pin(root.txn_id, snapshot_tid)
+            root.snapshot_tid = snapshot_tid
+        return container.concurrency.begin_snapshot_session(
+            root.txn_id, root.snapshot_tid, storage=self.storage)
+
+    def enable_snapshot_audit(self) -> list:
+        """Record every snapshot read for black-box certification by
+        :func:`repro.formal.audit.certify_snapshot_isolation`."""
+        return self.storage.enable_audit()
+
+    def gc_versions(self) -> int:
+        """Explicit storage GC sweep: prune every version chain below
+        the current watermark (everything, when no snapshot reader is
+        in flight).  Install paths already prune incrementally; the
+        sweep reclaims chains of records that are never written
+        again.  Returns the number of versions dropped."""
+        dropped = 0
+        for table in self._all_tables():
+            dropped += table.gc_versions(
+                self.storage.keep_watermark(table.versioning_scope))
+        return dropped
+
+    def _all_tables(self):
+        for reactor in self._reactors.values():
+            yield from reactor.catalog
+        if self.replication is not None:
+            for group in self.replication.replicas.values():
+                for replica in group:
+                    for name in replica.shadow_names():
+                        yield from replica.shadow(name).catalog
+
+    def version_stats(self) -> dict[str, Any]:
+        """Multi-version storage engine metrics.
+
+        ``live_versions`` counts superseded versions currently
+        retained on chains (primaries and replica shadows),
+        ``gc_versions`` the versions pruned so far, and
+        ``read_only_aborts`` the per-scheme abort count of read-only
+        roots — 0 under ``mvocc`` by construction, the abort-free
+        contract benchmarks assert.
+        """
+        stats = self.storage.stats
+        return {
+            "scheme": self.deployment.cc_scheme,
+            "snapshot_reads_enabled": self.snapshot_reads_enabled,
+            "live_versions": sum(t.live_version_count()
+                                 for t in self._all_tables()),
+            "versions_created": stats.versions_created,
+            "gc_versions": stats.versions_gced,
+            "snapshot_roots": stats.snapshot_roots,
+            "snapshot_reads_served": stats.snapshot_reads,
+            "pinned_snapshots": len(self.storage.pinned),
+            "read_only_aborts": dict(stats.read_only_aborts),
+        }
 
     def run(self, reactor_name: str, proc_name: str, *args: Any,
             **kwargs: Any) -> Any:

@@ -160,6 +160,11 @@ class DeploymentConfig:
     machine: MachineProfile = field(default_factory=lambda: XEON_E3_1276)
     placement: Placement = field(default_factory=Placement)
     cc_scheme: str = "occ"
+    #: Serve ``read_only`` root transactions from multi-version
+    #: snapshots (no locks, no validation, no aborts) under *any*
+    #: scheme.  ``cc_scheme="mvocc"`` implies it; see
+    #: :attr:`snapshot_reads_effective`.
+    snapshot_reads: bool = False
     replication: ReplicationConfig = NO_REPLICATION
     migration: MigrationConfig = DEFAULT_MIGRATION
 
@@ -183,13 +188,15 @@ class DeploymentConfig:
                 f"of {', '.join(cc_scheme_names())}"
             )
         if self.replication.read_from_replicas and \
-                self.cc_scheme != "occ":
+                self.cc_scheme not in ("occ", "mvocc") and \
+                not self.snapshot_reads:
             raise DeploymentError(
-                "read_from_replicas requires cc_scheme 'occ': replica "
-                "log applies install directly (no locks), and only "
-                "OCC validation detects a read that overlapped an "
-                "apply — under 2PL or 'none' a replica read could "
-                "commit a torn snapshot"
+                "read_from_replicas requires cc_scheme 'occ'/'mvocc' "
+                "or snapshot_reads: replica log applies install "
+                "directly (no locks), and only OCC validation or a "
+                "pinned snapshot protects a read that overlapped an "
+                "apply — under plain 2PL or 'none' a replica read "
+                "could commit a torn state"
             )
 
     @property
@@ -201,14 +208,21 @@ class DeploymentConfig:
         """Legacy view of the scheme choice: is any CC active?"""
         return self.cc_scheme != "none"
 
+    @property
+    def snapshot_reads_effective(self) -> bool:
+        """Are read-only roots served from multi-version snapshots?
+        ``mvocc`` always snapshots; other schemes opt in via
+        ``snapshot_reads``."""
+        return self.snapshot_reads or self.cc_scheme == "mvocc"
+
     # -- serialization --------------------------------------------------
 
     #: Every key ``from_dict`` understands; anything else is a typo an
     #: infrastructure engineer should hear about, not a silent no-op.
     KNOWN_KEYS = frozenset({
         "name", "machine", "containers", "routing", "pin_reactors",
-        "placement", "cc_scheme", "cc_enabled", "replication",
-        "migration",
+        "placement", "cc_scheme", "cc_enabled", "snapshot_reads",
+        "replication", "migration",
     })
 
     def to_dict(self) -> dict[str, Any]:
@@ -223,6 +237,7 @@ class DeploymentConfig:
             "pin_reactors": self.pin_reactors,
             "placement": self.placement.to_dict(),
             "cc_scheme": self.cc_scheme,
+            "snapshot_reads": self.snapshot_reads,
             "replication": self.replication.to_dict(),
             "migration": self.migration.to_dict(),
         }
@@ -252,6 +267,7 @@ class DeploymentConfig:
             placement=Placement.from_dict(
                 data.get("placement", {"kind": "modulo"})),
             cc_scheme=scheme,
+            snapshot_reads=bool(data.get("snapshot_reads", False)),
             replication=ReplicationConfig.from_dict(
                 data.get("replication", {})),
             migration=MigrationConfig.from_dict(
@@ -282,6 +298,7 @@ def shared_everything_without_affinity(
         placement: Placement | None = None,
         cc_scheme: str = "occ",
         cc_enabled: bool | None = None,
+        snapshot_reads: bool = False,
         replication: ReplicationConfig | None = None
         ) -> DeploymentConfig:
     """S1: one container, round-robin load balancing, MPL 1."""
@@ -293,6 +310,7 @@ def shared_everything_without_affinity(
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
     )
 
@@ -302,6 +320,7 @@ def shared_everything_with_affinity(
         placement: Placement | None = None,
         cc_scheme: str = "occ",
         cc_enabled: bool | None = None,
+        snapshot_reads: bool = False,
         replication: ReplicationConfig | None = None
         ) -> DeploymentConfig:
     """S2: one container, affinity routing, MPL 1 (Silo-like setup)."""
@@ -313,6 +332,7 @@ def shared_everything_with_affinity(
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
     )
 
@@ -322,6 +342,7 @@ def shared_nothing(n_containers: int,
                    mpl: int = 4, placement: Placement | None = None,
                    cc_scheme: str = "occ",
                    cc_enabled: bool | None = None,
+                   snapshot_reads: bool = False,
                    replication: ReplicationConfig | None = None,
                    migration: MigrationConfig | None = None
                    ) -> DeploymentConfig:
@@ -341,6 +362,7 @@ def shared_nothing(n_containers: int,
         machine=machine,
         placement=placement or Placement(),
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
+        snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
         migration=migration or DEFAULT_MIGRATION,
     )

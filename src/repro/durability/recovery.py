@@ -6,6 +6,13 @@ checkpoint, then replays redo records with commit TIDs above the
 checkpoint watermark in global TID order.  Replay is idempotent on
 after-images, so replaying from an older checkpoint with a longer log
 yields the same state.
+
+Replay goes through the regular ``install_*`` paths of the recovered
+database's tables, i.e. through the multi-version storage engine: the
+rebuilt records carry their replayed commit TIDs, so post-recovery
+snapshot readers (``mvocc`` / ``snapshot_reads`` deployments) pin and
+resolve against the recovered state exactly as against an original
+one, and new version chains grow from it on demand.
 """
 
 from __future__ import annotations

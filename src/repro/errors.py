@@ -58,6 +58,19 @@ class UserAbort(TransactionAbort):
     """The application logic requested an abort (``ctx.abort(...)``)."""
 
 
+class ReadOnlyViolation(UserAbort):
+    """A read-only root transaction attempted a mutation.
+
+    Raised uniformly on every mutation path (insert, update, delete) of
+    a session whose root was declared read-only — whether the session
+    is a validated read session on the primary, a replica-routed read
+    session, or a multi-version snapshot session.  Subclasses
+    :class:`UserAbort` because the runtime attributes it like an
+    application abort: the transaction was healthy, the application
+    broke its own read-only declaration.
+    """
+
+
 class CCAbort(TransactionAbort):
     """Base class for aborts initiated by a concurrency-control scheme.
 

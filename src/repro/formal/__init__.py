@@ -12,7 +12,8 @@ Public exports: history building blocks (:class:`Op`, ``read`` /
 ``serialization_order`` / ``theorem_2_7_holds``) and the runtime
 audits (:class:`HistoryRecorder` with ``attach_recorder`` /
 ``detach_recorder``, plus the black-box certificates
-``certify_replication`` and ``certify_migration``).
+``certify_replication``, ``certify_migration`` and
+``certify_snapshot_isolation``).
 """
 
 from repro.formal.audit import (
@@ -20,6 +21,7 @@ from repro.formal.audit import (
     attach_recorder,
     certify_migration,
     certify_replication,
+    certify_snapshot_isolation,
     detach_recorder,
 )
 from repro.formal.history import ReactorHistory, history_of
@@ -61,4 +63,5 @@ __all__ = [
     "detach_recorder",
     "certify_replication",
     "certify_migration",
+    "certify_snapshot_isolation",
 ]

@@ -42,8 +42,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.reactor import Reactor
-from repro.durability.wal import INSERT, RedoEntry, RedoRecord, \
-    apply_record_to
+from repro.durability.wal import DELETE, INSERT, RedoEntry, \
+    RedoRecord, apply_record_to
 from repro.errors import MigrationAbort, MigrationError
 
 DRAINING = "draining"
@@ -79,6 +79,11 @@ class Migration:
     subcalls_parked_n: int = 0
     #: Snapshot after-images the copy replayed (certification anchor).
     snapshot_records: list[RedoRecord] = field(default_factory=list)
+    #: Version history below the watermark still needed by snapshot
+    #: readers pinned at copy time (true commit TIDs, oldest first);
+    #: replayed into the successor *before* the flat cut so its
+    #: install path rebuilds the chains.  Dropped after the flip.
+    history_records: list[RedoRecord] = field(default_factory=list)
     #: Source TID watermark the snapshot was taken at: every copied
     #: commit has TID <= watermark, every destination commit after the
     #: flip has TID > watermark.
@@ -276,24 +281,43 @@ class MigrationManager:
         src = reactor.container
         # Snapshot the committed state as synthetic redo after-images,
         # stamped with the source's TID watermark ("state as of every
-        # commit up to here") — the copy is then a log replay.
+        # commit up to here") — the copy is then a log replay.  The
+        # rows are read as a *version cut at the watermark*, not the
+        # live heads: the drain barrier guarantees no local root still
+        # writes here, but a snapshot-read root pinned elsewhere could
+        # otherwise race the copy with an in-flight commit's install,
+        # and under the multi-version engine the as-of read is exact
+        # either way.
         watermark = src.concurrency.tids.last
         rows = 0
         records: list[RedoRecord] = []
         for table in reactor.catalog:
             entries = []
-            for row in table.rows():
+            for row in table.rows_as_of(watermark):
+                # rows_as_of yields fresh copies — owned outright, no
+                # defensive re-copy.
                 entries.append(RedoEntry(
                     reactor=reactor.name, table=table.name,
                     kind=INSERT,
                     pk=table.schema.primary_key_of(row),
-                    row=dict(row)))
+                    row=row))
             rows += len(entries)
             if entries:
                 records.append(RedoRecord(watermark, tuple(entries)))
         migration.snapshot_records = records
         migration.rows_copied = rows
         migration.watermark = watermark
+        # Snapshot readers pinned below the watermark still need
+        # pre-watermark versions of this reactor; the flat cut alone
+        # (restamped at the watermark) would make every row invisible
+        # to them.  Copy the retained history at its true commit TIDs
+        # too — replayed before the cut, the destination's own install
+        # path rebuilds the chains.
+        storage = getattr(database, "storage", None)
+        keep = storage.keep_watermark() if storage is not None else None
+        if keep is not None:
+            migration.history_records = self._collect_history(
+                reactor, keep)
         migration.state = COPYING
 
         copy_cost = costs.mig_copy_base + costs.mig_copy_per_row * rows
@@ -307,6 +331,43 @@ class MigrationManager:
             dst.executors[0].busy_time += copy_cost
         database.scheduler.after(copy_cost + costs.mig_flip_cost,
                                  self._flip, migration, watermark)
+
+    def _collect_history(self, reactor: Reactor,
+                         keep: int) -> list[RedoRecord]:
+        """Version history a snapshot pinned at ``keep`` (or later,
+        below the copy watermark) can still read: for every record,
+        its versions from the newest one at or below ``keep`` up to
+        the live head, as single-entry redo records at their *true*
+        commit TIDs, oldest first.  Tombstones become DELETE entries
+        so deleted-after-snapshot keys resolve correctly."""
+        events: list[tuple[int, RedoEntry]] = []
+        for table in reactor.catalog:
+            for record in table.all_records():
+                versions = [(record.tid, record.value, record.deleted)]
+                node = record.prev
+                while node is not None:
+                    versions.append((node.tid, node.value,
+                                     node.deleted))
+                    node = node.prev
+                needed = []
+                for tid, value, deleted in versions:  # newest first
+                    needed.append((tid, value, deleted))
+                    if tid <= keep:
+                        break
+                for tid, value, deleted in reversed(needed):
+                    if deleted:
+                        if tid == 0:
+                            continue  # pristine insert placeholder
+                        events.append((tid, RedoEntry(
+                            reactor=reactor.name, table=table.name,
+                            kind=DELETE, pk=record.key, row=None)))
+                    else:
+                        events.append((tid, RedoEntry(
+                            reactor=reactor.name, table=table.name,
+                            kind=INSERT, pk=record.key,
+                            row=dict(value))))
+        events.sort(key=lambda pair: pair[0])
+        return [RedoRecord(tid, (entry,)) for tid, entry in events]
 
     # -- flip + replay --------------------------------------------------
 
@@ -324,6 +385,9 @@ class MigrationManager:
 
         new = Reactor(old.name, old.rtype)
         new.container = dst
+        storage = getattr(database, "storage", None)
+        if storage is not None:
+            storage.adopt(new)
         executor = dst.route(new)
         new.affinity_executor = executor
         if database.deployment.pin_reactors:
@@ -333,6 +397,13 @@ class MigrationManager:
         def table_for(reactor_name: str, table_name: str):
             return new.table(table_name)
 
+        # Pre-watermark history first (true TIDs, builds the chains
+        # pinned snapshot readers resolve through), then the flat
+        # watermark cut on top; the history anchors nothing after the
+        # flip and is released.
+        for record in migration.history_records:
+            apply_record_to(table_for, record)
+        migration.history_records = []
         for record in migration.snapshot_records:
             apply_record_to(table_for, record)
         # Commits at the destination must exceed every copied TID.

@@ -1,11 +1,22 @@
 """In-memory tables of versioned records.
 
 A :class:`Table` holds the *committed* state of one relation inside one
-reactor: a primary-key dict of :class:`VersionedRecord` plus secondary
-indexes.  All mutation goes through the ``install_*`` methods, which the
-concurrency-control layer calls during the write phase of a commit —
-application code never touches tables directly (it goes through the
-transactional record manager, which overlays uncommitted writes).
+reactor: a pluggable :class:`~repro.storage.store.Store` of per-key
+:class:`~repro.storage.record.VersionedRecord` version chains plus
+secondary indexes.  All mutation goes through the ``install_*``
+methods, which the concurrency-control layer calls during the write
+phase of a commit — application code never touches tables directly (it
+goes through the transactional record manager, which overlays
+uncommitted writes).
+
+Multi-versioning: when the owning database has snapshot readers in
+flight (``versioning`` — the per-database
+:class:`~repro.storage.store.StorageCoordinator` — reports a GC
+watermark), installs push superseded images onto the version chains
+instead of discarding them, and the snapshot read paths
+(:meth:`read_as_of` / :meth:`rows_as_of` / :meth:`all_records`)
+resolve visibility against a pinned snapshot TID.  Without snapshot
+readers no history is retained.
 
 The table keeps a per-table primary index structure version and
 per-secondary-index versions; range and predicate scans validate these
@@ -20,17 +31,28 @@ from repro.errors import DuplicateKeyError, RecordNotFound
 from repro.relational.index import HashIndex, OrderedIndex, build_index
 from repro.relational.schema import TableSchema
 from repro.storage.record import VersionedRecord
+from repro.storage.store import create_store
 
 
 class Table:
     """Committed storage for one relation of one reactor."""
 
-    def __init__(self, schema: TableSchema) -> None:
+    def __init__(self, schema: TableSchema,
+                 store_kind: str = "versioned") -> None:
         self.schema = schema
         #: Name of the reactor owning this table (set at reactor
         #: construction; used by durability/recovery addressing).
         self.owner: str | None = None
-        self._records: dict[tuple, VersionedRecord] = {}
+        #: The pluggable committed record map (per-key version chains).
+        self.store = create_store(store_kind)
+        #: The owning database's storage coordinator, wired at
+        #: bootstrap/adoption; ``None`` for standalone tables (no
+        #: snapshot readers, no version bookkeeping).
+        self.versioning: Any = None
+        #: Which pins can read this table (see
+        #: :meth:`~repro.storage.store.StorageCoordinator.adopt`):
+        #: ``None`` on primaries, the replica container on shadows.
+        self.versioning_scope: Any = None
         #: Bumped on insert/delete; conservative phantom guard for full
         #: and predicate scans over the primary index.
         self.structure_version = 0
@@ -43,7 +65,21 @@ class Table:
         return self.schema.name
 
     def __len__(self) -> int:
-        return len(self._records)
+        return len(self.store)
+
+    def _keep_watermark(self) -> int | None:
+        """The GC watermark installs retain history down to (``None``
+        when no snapshot reader is in flight)."""
+        if self.versioning is None:
+            return None
+        return self.versioning.keep_watermark(self.versioning_scope)
+
+    def _note_versions(self, record: VersionedRecord, created: int,
+                       pruned: int) -> None:
+        if created:
+            self.store.note_chained(record.key)
+        if self.versioning is not None:
+            self.versioning.note_versions(created, pruned)
 
     # ------------------------------------------------------------------
     # Committed-state reads (used by the record manager under OCC).
@@ -51,17 +87,25 @@ class Table:
 
     def get_record(self, pk: tuple) -> VersionedRecord | None:
         """The live record for a primary key, or ``None``."""
-        record = self._records.get(pk)
-        if record is None or record.deleted:
-            return None
-        return record
+        return self.store.get(pk)
+
+    def peek_record(self, pk: tuple) -> VersionedRecord | None:
+        """The record for a primary key *including* tombstoned heads
+        (snapshot readers resolve visibility themselves)."""
+        return self.store.peek(pk)
 
     def iter_records(self) -> Iterator[VersionedRecord]:
         """All live records in primary-key order (deterministic scans)."""
-        for pk in sorted(self._records):
-            record = self._records[pk]
-            if not record.deleted:
-                yield record
+        return self.store.iter_live()
+
+    def all_records(self) -> Iterator[VersionedRecord]:
+        """All records — live *and* tombstoned — in primary-key order.
+
+        Snapshot scans iterate this: a key deleted after a snapshot was
+        pinned is invisible to current readers but still resolves
+        through its version chain.
+        """
+        return self.store.iter_all()
 
     def index(self, name: str) -> HashIndex | OrderedIndex:
         try:
@@ -74,12 +118,49 @@ class Table:
     def records_for_pks(self, pks: Any) -> Iterator[VersionedRecord]:
         """Live records for an iterable of primary keys (sorted)."""
         for pk in sorted(pks):
-            record = self._records.get(pk)
-            if record is not None and not record.deleted:
+            record = self.store.get(pk)
+            if record is not None:
                 yield record
 
     # ------------------------------------------------------------------
-    # Write-phase installation (called by OCC at commit only).
+    # Snapshot reads (the multi-version visibility surface).
+    # ------------------------------------------------------------------
+
+    def read_as_of(self, pk: tuple, as_of_tid: int) -> dict[str, Any] | None:
+        """The row image of ``pk`` visible at snapshot ``as_of_tid``."""
+        return self.version_at(pk, as_of_tid)[0]
+
+    def version_at(self, pk: tuple,
+                   as_of_tid: int) -> tuple[dict[str, Any] | None, int]:
+        """The snapshot point-read rule — one definition for every
+        caller: ``(visible image, resolving version TID)``.  The
+        runtime's snapshot sessions and the inspection surface both
+        route through here."""
+        return self.store.version_at(pk, as_of_tid)
+
+    def rows_as_of(self, as_of_tid: int) -> list[dict[str, Any]]:
+        """Every row visible at snapshot ``as_of_tid``, in primary-key
+        order — the consistent version cut migration copies read."""
+        out = []
+        for record in self.store.iter_all():
+            image = record.visible_at(as_of_tid)
+            if image is not None:
+                out.append(image)
+        return out
+
+    def live_version_count(self) -> int:
+        """Superseded versions retained across this table's chains."""
+        return self.store.live_version_count()
+
+    def gc_versions(self, watermark: int | None) -> int:
+        """Prune all chains below ``watermark`` (explicit GC sweep)."""
+        dropped = self.store.gc(watermark)
+        if dropped and self.versioning is not None:
+            self.versioning.note_versions(0, dropped)
+        return dropped
+
+    # ------------------------------------------------------------------
+    # Write-phase installation (called by the CC layer at commit only).
     # ------------------------------------------------------------------
 
     def install_insert(self, row: Mapping[str, Any],
@@ -92,7 +173,7 @@ class Table:
         """
         validated = self.schema.validate_row(row)
         pk = self.schema.primary_key_of(validated)
-        existing = self._records.get(pk)
+        existing = self.store.peek(pk)
         if existing is not None and not existing.deleted:
             raise DuplicateKeyError(
                 f"duplicate primary key {pk!r} in table {self.name!r}"
@@ -100,11 +181,13 @@ class Table:
         for index in self.indexes.values():
             index.check_insert(index.key_of(validated))
         if existing is not None:
-            existing.install(validated, tid)
+            created, pruned = existing.install(
+                validated, tid, self._keep_watermark())
+            self._note_versions(existing, created, pruned)
             record = existing
         else:
             record = VersionedRecord(pk, validated, tid)
-            self._records[pk] = record
+            self.store.put(pk, record)
         self.structure_version += 1
         for index in self.indexes.values():
             index.insert(index.key_of(validated), pk)
@@ -112,7 +195,8 @@ class Table:
 
     def install_update(self, record: VersionedRecord,
                        new_value: Mapping[str, Any], tid: int) -> None:
-        """Replace a record's committed image, maintaining indexes.
+        """Install a new committed version of a record, maintaining
+        indexes.
 
         All-or-nothing, like :meth:`install_insert`: unique-index
         violations are detected before any index is touched.
@@ -128,13 +212,16 @@ class Table:
         for index, old_key, new_key in rekeyed:
             index.remove(old_key, record.key)
             index.insert(new_key, record.key)
-        record.install(validated, tid)
+        created, pruned = record.install(validated, tid,
+                                         self._keep_watermark())
+        self._note_versions(record, created, pruned)
 
     def install_delete(self, record: VersionedRecord, tid: int) -> None:
         """Tombstone a record and remove it from indexes."""
         for index in self.indexes.values():
             index.remove(index.key_of(record.value), record.key)
-        record.mark_deleted(tid)
+        created, pruned = record.mark_deleted(tid, self._keep_watermark())
+        self._note_versions(record, created, pruned)
         self.structure_version += 1
 
     def ensure_placeholder(self, pk: tuple) -> VersionedRecord:
@@ -145,11 +232,11 @@ class Table:
         The placeholder is invisible to readers (``deleted`` is set) and
         is revived by :meth:`install_insert` on commit.
         """
-        record = self._records.get(pk)
+        record = self.store.peek(pk)
         if record is None:
             record = VersionedRecord(pk, {}, 0)
             record.deleted = True
-            self._records[pk] = record
+            self.store.put(pk, record)
         return record
 
     def discard_placeholder(self, record: VersionedRecord) -> None:
@@ -159,9 +246,9 @@ class Table:
         installed over, never a committed row) is removed; anything
         else is live state or a real tombstone and stays.
         """
-        existing = self._records.get(record.key)
+        existing = self.store.peek(record.key)
         if existing is record and record.deleted and record.tid == 0:
-            del self._records[record.key]
+            self.store.pop(record.key)
 
     # ------------------------------------------------------------------
     # Non-transactional bulk loading (benchmark setup only).

@@ -284,12 +284,20 @@ class ReplicationManager:
                     dict(entry.row))
         for table_name, rows in by_table.items():
             base[(new_reactor.name, table_name)] = rows
+        # Seeds carry the migration watermark, not tid 0: a replica-
+        # pinned snapshot below the watermark must not resolve
+        # migrated-in rows from its future.
+        watermark = max((record.commit_tid
+                         for record in snapshot_records), default=0)
         for replica in self.replicas.get(dst_cid, []):
             replica.add_shadow(new_reactor, pin=pin)
             replica.reactor_fences[new_reactor.name] = \
                 len(replica.applied_records)
+            replica.snapshot_floor = max(replica.snapshot_floor,
+                                         watermark)
             for table_name, rows in by_table.items():
-                replica.mirror_load(new_reactor.name, table_name, rows)
+                replica.mirror_load(new_reactor.name, table_name, rows,
+                                    tid=watermark)
 
     # ------------------------------------------------------------------
     # Read-replica routing
@@ -423,6 +431,18 @@ class ReplicationManager:
                 sibling.apply_record(record)
                 self.stats.records_applied += 1
 
+        # The survivor's TID generator only ever saw the TIDs it
+        # applied; a lagging replica is behind the dead primary's
+        # generator — and behind any pinned multi-version snapshot
+        # (pins advance every primary generator, the dead one
+        # included).  Advance it past the global watermark so
+        # post-promotion commits exceed every issued TID and every
+        # pinned snapshot, preserving both TID uniqueness and the
+        # snapshot-isolation prefix invariant across failover.
+        target.concurrency.tids.advance_to(
+            max(c.concurrency.tids.last
+                for c in database.containers))
+
         # The applied prefix *is* the new primary's redo log — the
         # "replay" of promotion; state was materialized incrementally
         # as records arrived, the log seed re-anchors durability and
@@ -450,6 +470,14 @@ class ReplicationManager:
                 shadow = target.shadow(name)
                 assert shadow is not None
                 database._reactors[name] = shadow
+                # The shadow's tables now serve primary traffic:
+                # re-scope them so primary-prefix pins (not this
+                # ex-replica's) govern their version retention.
+                database.storage.adopt(shadow)
+        # Snapshot readers still in flight on the promoted replica
+        # follow their tables into the primary scope — otherwise the
+        # next install would GC versions they can still reach.
+        database.storage.rescope(target)
 
         self.stats.failovers.append(FailoverEvent(
             container_id=cid,

@@ -46,6 +46,11 @@ class ReplicaContainer(Container):
         self.applied_tids: set[int] = set()
         #: Highest commit TID applied (0 when nothing arrived yet).
         self.applied_tid = 0
+        #: Floor for snapshot pins: migration re-homing seeds shadows
+        #: at the source watermark, so the replica's materialized
+        #: position is max(applied_tid, snapshot_floor) — a fresh pin
+        #: below the floor would miss the seeded state.
+        self.snapshot_floor = 0
         self._shadows: dict[str, Reactor] = {}
         #: reactor name -> applied-record index before which shipped
         #: entries for that reactor are skipped.  Set when an online
@@ -61,9 +66,21 @@ class ReplicaContainer(Container):
 
     def add_shadow(self, primary_reactor: Reactor,
                    pin: bool) -> Reactor:
-        """Create this replica's shadow of one primary reactor."""
+        """Create this replica's shadow of one primary reactor.
+
+        Shadow tables join the database's storage coordinator: log
+        applies then install *versions*, so snapshot reads pinned at
+        this replica's applied watermark stay stable while newer
+        records keep applying underneath them.
+        """
         shadow = Reactor(primary_reactor.name, primary_reactor.rtype)
         shadow.container = self
+        storage = getattr(self.database, "storage", None)
+        if storage is not None:
+            # Scoped to this replica: only reads pinned *here* (at the
+            # applied watermark) retain shadow history, and replica
+            # pins keep no unreachable history on primaries.
+            storage.adopt(shadow, scope=self)
         executor = self.executors[
             primary_reactor.affinity_executor.executor_id
             % len(self.executors)]
@@ -130,13 +147,17 @@ class ReplicaContainer(Container):
                 costs.repl_apply_per_write * len(record.entries)
 
     def mirror_load(self, reactor_name: str, table_name: str,
-                    rows: list[dict[str, Any]]) -> None:
+                    rows: list[dict[str, Any]], tid: int = 0) -> None:
         """Mirror a non-transactional bulk load (benchmark setup) —
         bulk loads bypass the redo log, so they are copied directly.
-        ``load_row`` copies each row image, so no defensive copy."""
+        ``load_row`` copies each row image, so no defensive copy.
+        Migration re-homing passes the snapshot watermark as ``tid``
+        so the seeded rows carry their true as-of position: a snapshot
+        reader pinned below the watermark must not see migrated-in
+        state from its future."""
         table = self._table_for(reactor_name, table_name)
         for row in rows:
-            table.load_row(row)
+            table.load_row(row, tid=tid)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"ReplicaContainer(primary={self.container_id}, "

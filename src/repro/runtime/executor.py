@@ -250,11 +250,11 @@ class TransactionExecutor:
         self.running = task
         task.state = _RUNNING
         self._touch_reactor(task, reactor)
-        frame = self._push_frame(task, reactor, invocation.subtxn_id,
-                                 entered=True,
-                                 proc_name=invocation.proc_name,
-                                 args=invocation.args,
-                                 kwargs=invocation.kwargs)
+        self._push_frame(task, reactor, invocation.subtxn_id,
+                         entered=True,
+                         proc_name=invocation.proc_name,
+                         args=invocation.args,
+                         kwargs=invocation.kwargs)
         # Root admissions pay the executor wake-up (thread switch from
         # the request queue), part of the containerization overhead.
         if invocation.is_root:
@@ -627,8 +627,12 @@ class TransactionExecutor:
         # built-in scheme currently uses the same footprint-shaped
         # formula (see the pricing note in repro.concurrency.locking),
         # but the hook lets a scheme price its commit differently.
+        # Snapshot sessions report zero validation reads — their reads
+        # pin versions and are never re-checked, so a snapshot-served
+        # read-only commit pays only the base fee.
         cost = self.container.concurrency.commit_cost(
-            self.costs, root.total_reads(), root.total_writes())
+            self.costs, root.total_validation_reads(),
+            root.total_writes())
         if len(participants) > 1:
             cost += self.costs.tpc_prepare_per_container * \
                 len(participants)
@@ -726,7 +730,15 @@ class TransactionExecutor:
         root.finished = True
         for reactor in root.reactor_refs:
             reactor.inflight_roots.discard(root.txn_id)
-        recorder = self.container.database.history_recorder
+        database = self.container.database
+        # Release the root's pinned snapshot (if any): the storage GC
+        # watermark advances with the in-flight snapshot set, so the
+        # next install can prune versions only this root could see.
+        database.storage.unpin(root.txn_id)
+        if not committed and root.read_only:
+            database.storage.note_read_only_abort(
+                database.deployment.cc_scheme)
+        recorder = database.history_recorder
         if recorder is not None:
             if committed:
                 recorder.record_commit(root.txn_id)

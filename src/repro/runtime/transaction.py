@@ -65,7 +65,7 @@ class RootTransaction:
         "sessions", "_subtxn_counter", "touched_reactors",
         "breakdown", "remote_calls", "on_complete", "finished",
         "user_abort", "client_worker", "effect_seq", "commit_tid",
-        "doomed", "read_only", "reactor_refs",
+        "doomed", "read_only", "reactor_refs", "snapshot_tid",
     )
 
     def __init__(self, txn_id: int, procedure: str, reactor_name: str,
@@ -99,6 +99,11 @@ class RootTransaction:
         #: eligible for read-replica routing; writes abort at
         #: buffering time.
         self.read_only = False
+        #: Begin-TID snapshot pinned for this root (multi-version
+        #: snapshot reads); ``None`` until the first data operation of
+        #: a snapshot-served read-only root, and forever for everything
+        #: else.
+        self.snapshot_tid: int | None = None
         self.commit_tid = 0
         self.client_worker: Any = None
         #: Monotonic effect counter of the root task; used to classify
@@ -110,11 +115,24 @@ class RootTransaction:
         return self._subtxn_counter
 
     def session_for(self, container: Any) -> CCSession:
-        """The CC session in ``container``, created on first touch."""
+        """The CC session in ``container``, created on first touch.
+
+        Read-only roots get a snapshot session (pinned at their begin
+        snapshot, no locks, no validation) when the deployment
+        snapshots reads; everything else gets the container scheme's
+        regular session.
+        """
         entry = self.sessions.get(container.container_id)
         if entry is None:
             manager = container.concurrency
-            session = manager.begin_session(self.txn_id)
+            session = None
+            if self.read_only:
+                database = getattr(container, "database", None)
+                if database is not None:
+                    session = database.begin_snapshot_session(
+                        self, container)
+            if session is None:
+                session = manager.begin_session(self.txn_id)
             session.owner = self
             self.sessions[container.container_id] = (manager, session)
             return session
@@ -129,6 +147,12 @@ class RootTransaction:
 
     def total_reads(self) -> int:
         return sum(s.read_count for __, s in self.sessions.values())
+
+    def total_validation_reads(self) -> int:
+        """Reads the commit phase must re-validate (0 per snapshot
+        session — the pricing behind mvocc's cheap read-only commit)."""
+        return sum(s.validation_read_count
+                   for __, s in self.sessions.values())
 
     def total_writes(self) -> int:
         return sum(s.write_count for __, s in self.sessions.values())

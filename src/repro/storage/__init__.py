@@ -1,15 +1,46 @@
-"""Transactional storage primitives: versioned records.
+"""Transactional storage primitives: the multi-version engine.
 
 The record manager interface the paper mentions ("pre-compiled stored
-procedures ... against a record manager interface") is realized by
-:class:`~repro.concurrency.occ.OCCSession`, which overlays uncommitted
+procedures ... against a record manager interface") is realized by the
+CC sessions of :mod:`repro.concurrency`, which overlay uncommitted
 writes on the committed :class:`~repro.relational.table.Table` state.
 
-Public exports: :class:`VersionedRecord` — the committed row container
-carrying the Silo-style TID word and lock state every CC scheme
-operates on.
+This package provides what those tables are made of:
+
+* :class:`VersionedRecord` / :class:`RecordVersion` — per-key version
+  chains carrying the Silo-style TID word and lock state every CC
+  scheme operates on, with the snapshot visibility rule
+  (``version_at``) and watermark-driven chain GC (``prune_chain``);
+* :class:`Store` / :class:`VersionedStore` and the
+  :func:`register_store` / :func:`create_store` registry — the
+  pluggable record map each table delegates to;
+* :class:`StorageCoordinator` / :class:`VersionStats` /
+  :class:`SnapshotReadEvent` — the per-database engine state: pinned
+  snapshots of in-flight read-only roots (the GC watermark source),
+  version counters, and the snapshot-read audit log.
 """
 
-from repro.storage.record import VersionedRecord
+from repro.storage.record import RecordVersion, VersionedRecord
+from repro.storage.store import (
+    SnapshotReadEvent,
+    StorageCoordinator,
+    Store,
+    VersionedStore,
+    VersionStats,
+    create_store,
+    register_store,
+    store_kinds,
+)
 
-__all__ = ["VersionedRecord"]
+__all__ = [
+    "RecordVersion",
+    "VersionedRecord",
+    "SnapshotReadEvent",
+    "StorageCoordinator",
+    "Store",
+    "VersionedStore",
+    "VersionStats",
+    "create_store",
+    "register_store",
+    "store_kinds",
+]

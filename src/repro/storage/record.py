@@ -1,9 +1,22 @@
-"""Versioned records (Silo-style TID words).
+"""Versioned records (Silo-style TID words) with version chains.
 
-Each committed row lives in exactly one :class:`VersionedRecord`.  The
+Each committed row lives in exactly one :class:`VersionedRecord` — the
+*head* (newest committed version) of a per-key version chain.  The
 record carries the transaction id (TID) of the transaction that last
 wrote it; OCC read sets remember ``(record, tid_at_read)`` pairs and
 validation detects concurrent writers by comparing the current TID.
+
+Multi-versioning: when snapshot readers are in flight (the store's
+keep-watermark is set), installing a new image pushes the superseded
+head onto the chain as a :class:`RecordVersion` instead of discarding
+it.  :meth:`VersionedRecord.version_at` is the visibility rule — the
+newest version with ``tid <= as_of_tid`` — and
+:meth:`VersionedRecord.prune_chain` is the watermark-driven GC:
+versions older than the newest version at or below the watermark can
+never be observed again (every pinned snapshot is at or above the
+watermark) and are dropped.  With no watermark (no snapshot readers
+pinned) no history is retained at all, so single-version deployments
+keep their original memory profile.
 
 A lightweight lock field stands in for Silo's TID-word lock bit: write
 locks are taken during the validation/installation window (and held
@@ -12,13 +25,35 @@ across 2PC phases for multi-container transactions).
 
 from __future__ import annotations
 
-from typing import Any, Mapping
+from typing import Any
+
+
+class RecordVersion:
+    """One superseded committed version on a record's chain.
+
+    ``deleted`` marks a tombstone version: the key did not exist at
+    snapshots that resolve to it.  ``prev`` links to the next-older
+    version (``None`` at the chain's end).
+    """
+
+    __slots__ = ("value", "tid", "deleted", "prev")
+
+    def __init__(self, value: dict[str, Any], tid: int, deleted: bool,
+                 prev: "RecordVersion | None") -> None:
+        self.value = value
+        self.tid = tid
+        self.deleted = deleted
+        self.prev = prev
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "deleted" if self.deleted else "live"
+        return f"RecordVersion(tid={self.tid}, {state})"
 
 
 class VersionedRecord:
-    """One row version chain collapsed to its latest committed state."""
+    """Head of one row's version chain: the latest committed state."""
 
-    __slots__ = ("key", "value", "tid", "locked_by", "deleted")
+    __slots__ = ("key", "value", "tid", "locked_by", "deleted", "prev")
 
     def __init__(self, key: tuple, value: dict[str, Any], tid: int) -> None:
         self.key = key
@@ -27,6 +62,9 @@ class VersionedRecord:
         #: Transaction id currently holding the write lock, or ``None``.
         self.locked_by: int | None = None
         self.deleted = False
+        #: Next-older committed version (``None`` when no snapshot
+        #: reader could still need history).
+        self.prev: RecordVersion | None = None
 
     def is_locked_by_other(self, txn_id: int) -> bool:
         return self.locked_by is not None and self.locked_by != txn_id
@@ -42,16 +80,110 @@ class VersionedRecord:
         if self.locked_by == txn_id:
             self.locked_by = None
 
-    def install(self, value: Mapping[str, Any], tid: int) -> None:
-        """Overwrite the committed image with a new version."""
-        self.value = dict(value)
+    def install(self, value: dict[str, Any], tid: int,
+                keep_watermark: int | None = None) -> tuple[int, int]:
+        """Install a new committed version at the head of the chain.
+
+        Ownership transfer, not copy: ``value`` must be a dict the
+        caller relinquishes (the schema validation every install path
+        runs returns a fresh dict, so no defensive copy is needed in
+        this hot path).  ``keep_watermark`` is the GC watermark from
+        the in-flight snapshot set: when set, the superseded head is
+        pushed onto the chain for snapshot readers and the chain is
+        pruned below the watermark; when ``None`` no reader can need
+        history and the chain is dropped.  Returns ``(versions_kept,
+        versions_pruned)`` for the storage counters.
+        """
+        kept = self._supersede(keep_watermark)
+        self.value = value
         self.tid = tid
         self.deleted = False
+        return kept, self.prune_chain(keep_watermark)
 
-    def mark_deleted(self, tid: int) -> None:
-        """Tombstone the record; readers holding it fail validation."""
+    def mark_deleted(self, tid: int,
+                     keep_watermark: int | None = None) -> tuple[int, int]:
+        """Tombstone the record; readers holding it fail validation.
+
+        Like :meth:`install`, the superseded image joins the chain when
+        snapshot readers may still need it.
+        """
+        kept = self._supersede(keep_watermark)
         self.tid = tid
         self.deleted = True
+        return kept, self.prune_chain(keep_watermark)
+
+    def _supersede(self, keep_watermark: int | None) -> int:
+        """Push the current head onto the chain when a pinned snapshot
+        may still need it — the one retention rule both the update and
+        the delete path share.  Returns the number of versions kept."""
+        if keep_watermark is None:
+            return 0
+        self.prev = RecordVersion(self.value, self.tid, self.deleted,
+                                  self.prev)
+        return 1
+
+    # -- visibility (the snapshot read rule) ----------------------------
+
+    def version_at(self, as_of_tid: int) -> tuple[dict[str, Any] | None, int]:
+        """The row image visible at snapshot ``as_of_tid``.
+
+        Returns ``(image, tid)`` where ``image`` is a copy of the
+        newest version with ``tid <= as_of_tid`` (``None`` when that
+        version is a tombstone or no version qualifies) and ``tid`` is
+        the TID of the version that resolved the read (0 when none
+        did).
+        """
+        if self.tid <= as_of_tid:
+            return (None if self.deleted else dict(self.value)), self.tid
+        node = self.prev
+        while node is not None:
+            if node.tid <= as_of_tid:
+                return ((None if node.deleted else dict(node.value)),
+                        node.tid)
+            node = node.prev
+        return None, 0
+
+    def visible_at(self, as_of_tid: int) -> dict[str, Any] | None:
+        """Just the image part of :meth:`version_at`."""
+        return self.version_at(as_of_tid)[0]
+
+    # -- watermark-driven GC --------------------------------------------
+
+    def chain_length(self) -> int:
+        """Number of superseded versions retained behind the head."""
+        count = 0
+        node = self.prev
+        while node is not None:
+            count += 1
+            node = node.prev
+        return count
+
+    def prune_chain(self, watermark: int | None) -> int:
+        """Drop chain versions no pinned snapshot can observe.
+
+        Every pinned snapshot is at or above ``watermark`` (the minimum
+        pinned snapshot TID), so only the newest version with ``tid <=
+        watermark`` — or the head itself, if it qualifies — can still
+        resolve a read; everything older is unreachable.  ``None``
+        means no snapshot is pinned: the whole chain goes.  Returns the
+        number of versions dropped.
+        """
+        if watermark is None or self.tid <= watermark:
+            dropped = self.chain_length()
+            self.prev = None
+            return dropped
+        node: Any = self
+        while node.prev is not None:
+            if node.prev.tid <= watermark:
+                cut = node.prev.prev
+                node.prev.prev = None
+                dropped = 0
+                while cut is not None:
+                    dropped += 1
+                    cut = cut.prev
+                return dropped
+            node = node.prev
+        return 0
 
     def snapshot(self) -> dict[str, Any]:
         """A defensive copy of the committed row image."""
@@ -59,4 +191,5 @@ class VersionedRecord:
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "deleted" if self.deleted else "live"
-        return f"VersionedRecord(key={self.key!r}, tid={self.tid}, {state})"
+        return (f"VersionedRecord(key={self.key!r}, tid={self.tid}, "
+                f"{state}, chain={self.chain_length()})")

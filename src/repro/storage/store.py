@@ -1,0 +1,324 @@
+"""The pluggable versioned store and the per-database storage engine.
+
+Two layers live here:
+
+* :class:`Store` — the per-table record-map interface every
+  :class:`~repro.relational.table.Table` delegates to, with the
+  built-in :class:`VersionedStore` implementation (a primary-key dict
+  of :class:`~repro.storage.record.VersionedRecord` version chains).
+  Stores expose the snapshot visibility rule (:meth:`Store.
+  latest_visible`) and watermark-driven GC (:meth:`Store.gc`); the
+  :func:`register_store` / :func:`create_store` registry makes the
+  engine a deployment-extensible choice, mirroring the CC scheme
+  registry.
+
+* :class:`StorageCoordinator` — one per database: the pinned-snapshot
+  set of in-flight read-only roots (the source of the GC watermark
+  install paths consult), the :class:`VersionStats` counters behind
+  ``database.version_stats()``, and the optional snapshot-read audit
+  log :func:`repro.formal.audit.certify_snapshot_isolation` certifies.
+
+The coordinator is deliberately dumb about *when* snapshots pin: the
+runtime pins at the first data operation of a snapshot-read root (see
+``ReactorDatabase.begin_snapshot_session``) and unpins at root
+completion, so ``keep_watermark()`` — the minimum pinned snapshot TID
+— advances exactly with the in-flight set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+from repro.storage.record import VersionedRecord
+
+Row = dict[str, Any]
+
+
+class Store:
+    """Interface of one table's committed record map.
+
+    Keys are primary-key tuples; values are the per-key version-chain
+    heads.  ``get`` resolves live records only; ``peek`` also returns
+    tombstoned heads (snapshot readers resolve visibility themselves).
+    """
+
+    kind = "abstract"
+
+    def get(self, pk: tuple) -> VersionedRecord | None:
+        raise NotImplementedError
+
+    def peek(self, pk: tuple) -> VersionedRecord | None:
+        raise NotImplementedError
+
+    def put(self, pk: tuple, record: VersionedRecord) -> None:
+        raise NotImplementedError
+
+    def pop(self, pk: tuple) -> None:
+        raise NotImplementedError
+
+    def iter_live(self) -> Iterator[VersionedRecord]:
+        raise NotImplementedError
+
+    def iter_all(self) -> Iterator[VersionedRecord]:
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def note_chained(self, pk: tuple) -> None:
+        """A record of ``pk`` just gained a chain version.
+
+        Lets indexed snapshot scans examine only index candidates plus
+        the (GC-bounded) chained set instead of the whole table.
+        """
+
+    def iter_chained(self) -> Iterator[VersionedRecord]:
+        """Records that currently retain chain versions — the only
+        ones whose snapshot-visible image can differ from (or outlive)
+        their live head."""
+        for record in self.iter_all():
+            if record.prev is not None:
+                yield record
+
+    def version_at(self, pk: tuple,
+                   as_of_tid: int) -> tuple[Row | None, int]:
+        """The store-level visibility rule: the image of ``pk``
+        visible at snapshot ``as_of_tid`` plus the TID of the version
+        that resolved it (``(None, 0)`` when nothing qualifies)."""
+        record = self.peek(pk)
+        if record is None:
+            return None, 0
+        return record.version_at(as_of_tid)
+
+    def latest_visible(self, pk: tuple, as_of_tid: int) -> Row | None:
+        """Just the image part of :meth:`version_at`."""
+        return self.version_at(pk, as_of_tid)[0]
+
+    def gc(self, watermark: int | None) -> int:
+        """Prune every chain below ``watermark`` (``None``: drop all
+        history).  Returns the number of versions dropped."""
+        dropped = 0
+        for record in self.iter_all():
+            dropped += record.prune_chain(watermark)
+        return dropped
+
+    def live_version_count(self) -> int:
+        """Superseded versions currently retained across all chains."""
+        return sum(r.chain_length() for r in self.iter_all())
+
+
+class VersionedStore(Store):
+    """The built-in dict-backed version-chain store."""
+
+    kind = "versioned"
+
+    def __init__(self) -> None:
+        self._records: dict[tuple, VersionedRecord] = {}
+        #: Primary keys whose record has (or recently had) chain
+        #: versions; membership is validated lazily on iteration, so
+        #: pruned chains fall out without an explicit unhook.
+        self._chained: set[tuple] = set()
+
+    def get(self, pk: tuple) -> VersionedRecord | None:
+        record = self._records.get(pk)
+        if record is None or record.deleted:
+            return None
+        return record
+
+    def peek(self, pk: tuple) -> VersionedRecord | None:
+        return self._records.get(pk)
+
+    def put(self, pk: tuple, record: VersionedRecord) -> None:
+        self._records[pk] = record
+
+    def pop(self, pk: tuple) -> None:
+        self._records.pop(pk, None)
+
+    def iter_live(self) -> Iterator[VersionedRecord]:
+        for pk in sorted(self._records):
+            record = self._records[pk]
+            if not record.deleted:
+                yield record
+
+    def iter_all(self) -> Iterator[VersionedRecord]:
+        for pk in sorted(self._records):
+            yield self._records[pk]
+
+    def note_chained(self, pk: tuple) -> None:
+        self._chained.add(pk)
+
+    def iter_chained(self) -> Iterator[VersionedRecord]:
+        for pk in sorted(self._chained):
+            record = self._records.get(pk)
+            if record is None or record.prev is None:
+                self._chained.discard(pk)
+                continue
+            yield record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+
+# ----------------------------------------------------------------------
+# Store registry (mirrors the CC scheme registry)
+# ----------------------------------------------------------------------
+
+_STORE_FACTORIES: dict[str, Callable[[], Store]] = {
+    "versioned": VersionedStore,
+}
+
+
+def register_store(name: str):
+    """Class/function decorator adding a store factory under ``name``."""
+    def decorate(factory: Callable[[], Store]):
+        _STORE_FACTORIES[name] = factory
+        return factory
+    return decorate
+
+
+def store_kinds() -> tuple[str, ...]:
+    return tuple(sorted(_STORE_FACTORIES))
+
+
+def create_store(kind: str = "versioned") -> Store:
+    """Instantiate the store ``kind`` for one table."""
+    try:
+        factory = _STORE_FACTORIES[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown store kind {kind!r}; registered: "
+            f"{', '.join(sorted(_STORE_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+# ----------------------------------------------------------------------
+# Per-database storage engine state
+# ----------------------------------------------------------------------
+
+@dataclass
+class VersionStats:
+    """Counters behind ``database.version_stats()``."""
+
+    #: superseded versions pushed onto chains (snapshot readers in
+    #: flight at install time).
+    versions_created: int = 0
+    #: versions dropped by watermark-driven GC (install-time pruning
+    #: plus explicit sweeps).
+    versions_gced: int = 0
+    #: read-only roots that pinned a snapshot.
+    snapshot_roots: int = 0
+    #: individual reads (point + scan rows) served from snapshots.
+    snapshot_reads: int = 0
+    #: read-only roots that aborted, keyed by cc scheme.  The mvocc
+    #: contract is that this stays 0 for "mvocc": snapshot readers
+    #: never validate and never conflict.
+    read_only_aborts: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class SnapshotReadEvent:
+    """One audited snapshot read (black-box certification input)."""
+
+    txn_id: int
+    snapshot_tid: int
+    reactor: str
+    table: str
+    pk: tuple
+    #: TID of the version that resolved the read (0: no version at or
+    #: below the snapshot existed).
+    observed_tid: int
+    #: The read returned no row (tombstone or never-existed).
+    missing: bool
+
+
+class StorageCoordinator:
+    """Pinned snapshots, GC watermark, and version counters of one
+    database (primaries and replicas share one coordinator)."""
+
+    def __init__(self) -> None:
+        #: root txn id -> (pinned snapshot TID, scope).  Scope is
+        #: ``None`` for primary-prefix snapshots and the serving
+        #: replica container for replica-routed ones — a replica read
+        #: can never touch primary tables (and vice versa), so each
+        #: scope retains only history its own readers can reach.
+        self.pinned: dict[int, tuple[int, Any]] = {}
+        self.stats = VersionStats()
+        #: Snapshot-read audit log; ``None`` until
+        #: :meth:`enable_audit` (recording every read is test/bench
+        #: instrumentation, not a production default).
+        self.audit: list[SnapshotReadEvent] | None = None
+
+    # -- table adoption -------------------------------------------------
+
+    def adopt(self, reactor: Any, scope: Any = None) -> None:
+        """Wire every table of ``reactor`` to this coordinator (called
+        for bootstrap reactors, replica shadows, and migration
+        successors alike).  ``scope`` matches the tables to the pins
+        that can read them: ``None`` for primary tables, the owning
+        replica container for replica shadows."""
+        for table in reactor.catalog:
+            table.versioning = self
+            table.versioning_scope = scope
+
+    # -- snapshot pinning ------------------------------------------------
+
+    def pin(self, txn_id: int, snapshot_tid: int,
+            scope: Any = None) -> None:
+        self.pinned[txn_id] = (snapshot_tid, scope)
+        self.stats.snapshot_roots += 1
+
+    def unpin(self, txn_id: int) -> None:
+        self.pinned.pop(txn_id, None)
+
+    def rescope(self, old_scope: Any, new_scope: Any = None) -> None:
+        """Move every pin in ``old_scope`` to ``new_scope``.
+
+        Promotion re-homes a replica's tables into the primary scope;
+        snapshot readers still in flight on that replica must follow,
+        or installs on the promoted tables would GC versions those
+        readers can still reach.
+        """
+        for txn_id, (tid, scope) in list(self.pinned.items()):
+            if scope == old_scope:
+                self.pinned[txn_id] = (tid, new_scope)
+
+    def keep_watermark(self, scope: Any = None) -> int | None:
+        """The GC watermark for one scope: the minimum snapshot TID
+        pinned *in that scope*, or ``None`` when it has no in-flight
+        snapshot reader (retain nothing there)."""
+        if not self.pinned:
+            return None
+        tids = [tid for tid, pin_scope in self.pinned.values()
+                if pin_scope == scope]
+        if not tids:
+            return None
+        return min(tids)
+
+    # -- counters and audit ----------------------------------------------
+
+    def note_versions(self, created: int, pruned: int) -> None:
+        if created:
+            self.stats.versions_created += created
+        if pruned:
+            self.stats.versions_gced += pruned
+
+    def note_read_only_abort(self, scheme: str) -> None:
+        aborts = self.stats.read_only_aborts
+        aborts[scheme] = aborts.get(scheme, 0) + 1
+
+    def enable_audit(self) -> list[SnapshotReadEvent]:
+        if self.audit is None:
+            self.audit = []
+        return self.audit
+
+    def note_snapshot_read(self, txn_id: int, snapshot_tid: int,
+                           reactor: str, table: str, pk: tuple,
+                           observed_tid: int, missing: bool) -> None:
+        self.stats.snapshot_reads += 1
+        if self.audit is not None:
+            self.audit.append(SnapshotReadEvent(
+                txn_id=txn_id, snapshot_tid=snapshot_tid,
+                reactor=reactor, table=table, pk=pk,
+                observed_tid=observed_tid, missing=missing))

@@ -34,11 +34,25 @@ def kv_schema():
 KEY_REACTOR = ReactorType("YcsbKey", kv_schema)
 
 
-@KEY_REACTOR.procedure
+@KEY_REACTOR.procedure(read_only=True)
 def read_one(ctx):
-    """Point read of this key's record."""
+    """Point read of this key's record.
+
+    Declared read-only: eligible for replica routing and — under
+    ``mvocc`` / ``snapshot_reads`` deployments — served from an
+    abort-free multi-version snapshot.
+    """
     row = ctx.lookup("kv", ctx.my_name())
     return row["value"] if row else None
+
+
+@KEY_REACTOR.procedure(read_only=True)
+def multi_read(ctx, keys: list):
+    """Asynchronously read every key in ``keys`` (read-only analogue
+    of :func:`multi_update`; the read-heavy mix the mvocc ablation
+    measures)."""
+    for key in keys:
+        yield ctx.call(key, "read_one")
 
 
 @KEY_REACTOR.procedure
@@ -91,7 +105,9 @@ class YcsbWorkload:
 
     def __init__(self, scale_factor: int, theta: float,
                  n_containers: int, keys_per_txn: int = 10,
-                 seed: int = 42, n_keys: int | None = None) -> None:
+                 seed: int = 42, n_keys: int | None = None,
+                 read_fraction: float = 0.0,
+                 read_keys_per_txn: int | None = None) -> None:
         #: ``n_keys`` overrides the scale-factor-derived keyspace
         #: (tests and demos use small keyspaces).
         self.n_keys = n_keys or scale_factor * KEYS_PER_SCALE_FACTOR
@@ -99,6 +115,15 @@ class YcsbWorkload:
         self.keys_per_txn = keys_per_txn
         self.n_containers = n_containers
         self.keys_per_container = self.n_keys // n_containers
+        #: Fraction of transactions issued as read-only ``multi_read``
+        #: over the same zipfian key choice (0 keeps the classic
+        #: all-``multi_update`` workload).
+        self.read_fraction = read_fraction
+        #: Keys per ``multi_read`` (defaults to ``keys_per_txn``); a
+        #: wider read span models read-mostly analytics over the hot
+        #: set — long validated read sets are exactly what multi-
+        #: version snapshots remove.
+        self.read_keys_per_txn = read_keys_per_txn or keys_per_txn
         self._rng = random.Random(f"ycsb/{seed}")
         self._zipf = ZipfianGenerator(self.n_keys, theta, self._rng)
 
@@ -108,13 +133,17 @@ class YcsbWorkload:
 
     def next_txn(self, worker) -> tuple[str, str, tuple]:
         rng = worker.rng
-        # Draw `keys_per_txn` zipfian keys and collapse duplicates: at
-        # extreme skew ("5.0: a single reactor is accessed") most draws
-        # repeat the hottest key, so the transaction touches fewer
-        # reactors — which is exactly the effect the paper studies.
+        read_only = bool(self.read_fraction
+                         and rng.random() < self.read_fraction)
+        n_draws = self.read_keys_per_txn if read_only \
+            else self.keys_per_txn
+        # Draw zipfian keys and collapse duplicates: at extreme skew
+        # ("5.0: a single reactor is accessed") most draws repeat the
+        # hottest key, so the transaction touches fewer reactors —
+        # which is exactly the effect the paper studies.
         chosen: list[int] = []
         seen: set[int] = set()
-        for __ in range(self.keys_per_txn):
+        for __ in range(n_draws):
             index = self._zipf.next()
             if index not in seen:
                 seen.add(index)
@@ -125,6 +154,8 @@ class YcsbWorkload:
         remote = [i for i in chosen if self.container_of(i) != home]
         local = [i for i in chosen if self.container_of(i) == home]
         ordered = [key_name(i) for i in remote + local]
+        if read_only:
+            return (key_name(initiator), "multi_read", (ordered,))
         return (key_name(initiator), "multi_update",
                 (ordered, f"u{worker.issued % 10}"))
 

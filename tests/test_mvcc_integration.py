@@ -1,0 +1,659 @@
+"""Integration tests of multi-version snapshot reads.
+
+The storage engine threaded through the runtime: abort-free snapshot
+reads under contention, transaction-consistent cuts, the
+``snapshot_reads`` deployment toggle on every scheme, read-only
+enforcement on all mutation paths, replica bounded-staleness reads,
+recovery and migration over the versioned engine, and the black-box
+snapshot-isolation certificate (including tamper rejection).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from types import SimpleNamespace
+
+import pytest
+
+from repro.concurrency.base import CCSession
+from repro.concurrency.mvcc import SnapshotSession
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import (
+    DeploymentConfig,
+    shared_everything_with_affinity,
+    shared_nothing,
+)
+from repro.core.reactor import ReactorType
+from repro.durability.checkpoint import take_checkpoint
+from repro.durability.recovery import enable_durability, recover
+from repro.errors import DeploymentError, ReadOnlyViolation
+from repro.formal.audit import certify_migration, \
+    certify_snapshot_isolation
+from repro.relational import float_col, make_schema, str_col
+from repro.replication import ReplicationConfig
+from repro.workloads import smallbank
+
+
+def _kv_schema():
+    return [make_schema("kv", [str_col("k"), float_col("v")], ["k"])]
+
+
+PAIR = ReactorType("Pair", _kv_schema)
+
+
+@PAIR.procedure(read_only=True)
+def get_v(ctx):
+    return ctx.lookup("kv", ctx.my_name())["v"]
+
+
+@PAIR.procedure(read_only=True)
+def get_slow(ctx):
+    """Stall, then read — keeps the caller blocked remotely for long
+    enough that a writer can slip a commit into its window."""
+    yield ctx.compute(500.0)
+    return ctx.lookup("kv", ctx.my_name())["v"]
+
+
+@PAIR.procedure(read_only=True)
+def slow_sum(ctx, other):
+    """Read self, stall, read the partner — a long validated read set
+    under OCC, a stable snapshot under mvocc."""
+    mine = ctx.lookup("kv", ctx.my_name())["v"]
+    yield ctx.compute(500.0)
+    fut = yield ctx.call(other, "get_v")
+    theirs = yield ctx.get(fut)
+    return mine + theirs
+
+
+@PAIR.procedure(read_only=True)
+def double_check(ctx, other):
+    """Read self, block on the partner's slow read, read self again —
+    the second read must still resolve at the pinned snapshot even if
+    a writer committed (or a failover re-homed the tables) in
+    between."""
+    first = ctx.lookup("kv", ctx.my_name())["v"]
+    fut = yield ctx.call(other, "get_slow")
+    theirs = yield ctx.get(fut)
+    second = ctx.lookup("kv", ctx.my_name())["v"]
+    return first + second + theirs
+
+
+@PAIR.procedure(read_only=True)
+def sum_with_slow_partner(ctx, other):
+    """Read self, then block on the partner's slow read — the
+    executor is released, so a writer commits inside the window."""
+    mine = ctx.lookup("kv", ctx.my_name())["v"]
+    fut = yield ctx.call(other, "get_slow")
+    theirs = yield ctx.get(fut)
+    return mine + theirs
+
+
+@PAIR.procedure
+def set_v(ctx, value):
+    ctx.update("kv", ctx.my_name(), {"v": value})
+
+
+@PAIR.procedure
+def set_both(ctx, other, value):
+    ctx.update("kv", ctx.my_name(), {"v": value})
+    fut = yield ctx.call(other, "set_v", value)
+    yield ctx.get(fut)
+
+
+@PAIR.procedure(read_only=True)
+def bad_update(ctx):
+    ctx.update("kv", ctx.my_name(), {"v": -1.0})
+
+
+@PAIR.procedure(read_only=True)
+def bad_insert(ctx):
+    ctx.insert("kv", {"k": "rogue", "v": -1.0})
+
+
+@PAIR.procedure(read_only=True)
+def bad_delete(ctx):
+    ctx.delete("kv", ctx.my_name())
+
+
+def _pair_db(scheme: str, snapshot_reads: bool = False,
+             replication=None) -> ReactorDatabase:
+    database = ReactorDatabase(
+        shared_nothing(2, cc_scheme=scheme,
+                       snapshot_reads=snapshot_reads,
+                       replication=replication),
+        [("a", PAIR), ("b", PAIR)])
+    database.load("a", "kv", [{"k": "a", "v": 1.0}])
+    database.load("b", "kv", [{"k": "b", "v": 2.0}])
+    return database
+
+
+def _submit_collect(database, outcomes, key, reactor, proc, *args):
+    def on_done(root, committed, reason, result):
+        outcomes[key] = (committed, reason, result)
+    database.submit(reactor, proc, *args, on_done=on_done)
+
+
+def _overlap_reader_with_writer(database):
+    """Start a slow read-only root, commit a conflicting write inside
+    its window, run to completion; returns the outcome map."""
+    outcomes: dict = {}
+    _submit_collect(database, outcomes, "reader", "a", "slow_sum", "b")
+    database.scheduler.at(
+        100.0, _submit_collect, database, outcomes, "writer",
+        "a", "set_both", "b", 7.0)
+    database.scheduler.run()
+    return outcomes
+
+
+def _overlap_blocked_reader_with_writer(database):
+    """The reader blocks on a slow remote read of ``b`` while a writer
+    overwrites the already-read ``a`` and fully commits."""
+    outcomes: dict = {}
+    _submit_collect(database, outcomes, "reader", "a",
+                    "sum_with_slow_partner", "b")
+    database.scheduler.at(
+        100.0, _submit_collect, database, outcomes, "writer",
+        "a", "set_v", 7.0)
+    database.scheduler.run()
+    return outcomes
+
+
+class TestSnapshotReadsUnderContention:
+    def test_occ_reader_aborts_on_overlapping_writer(self):
+        database = _pair_db("occ")
+        outcomes = _overlap_blocked_reader_with_writer(database)
+        assert outcomes["writer"][0]
+        assert not outcomes["reader"][0]
+        assert database.version_stats()["read_only_aborts"] == {
+            "occ": 1}
+
+    def test_mvocc_reader_survives_the_same_interleaving(self):
+        database = _pair_db("mvocc")
+        outcomes = _overlap_blocked_reader_with_writer(database)
+        assert outcomes["writer"][0]
+        committed, __, result = outcomes["reader"]
+        assert committed
+        assert result == pytest.approx(3.0)  # pre-writer snapshot
+
+    def test_mvocc_reader_commits_on_consistent_snapshot(self):
+        database = _pair_db("mvocc")
+        outcomes = _overlap_reader_with_writer(database)
+        assert outcomes["writer"][0]
+        committed, __, result = outcomes["reader"]
+        assert committed
+        # The pinned snapshot predates the writer: both reads resolve
+        # to the old images (1+2), never a torn 1+7 or 7+2.
+        assert result == pytest.approx(3.0)
+        stats = database.version_stats()
+        assert stats["read_only_aborts"] == {}
+        assert stats["snapshot_roots"] == 1
+        assert stats["pinned_snapshots"] == 0  # unpinned at completion
+
+    @pytest.mark.parametrize("scheme", ["occ", "2pl_nowait",
+                                        "2pl_waitdie", "none"])
+    def test_snapshot_reads_toggle_works_under_any_scheme(self, scheme):
+        database = _pair_db(scheme, snapshot_reads=True)
+        outcomes = _overlap_reader_with_writer(database)
+        assert outcomes["writer"][0]
+        committed, __, result = outcomes["reader"]
+        assert committed
+        assert result == pytest.approx(3.0)
+        assert database.version_stats()["read_only_aborts"] == {}
+
+    def test_commits_after_pin_exceed_the_snapshot(self):
+        database = _pair_db("mvocc")
+        outcomes = _overlap_reader_with_writer(database)
+        assert outcomes["writer"][0]
+        reader_snapshot = min(
+            e.snapshot_tid
+            for e in (database.storage.audit or [])) \
+            if database.storage.audit else None
+        # Even without the audit, the generators were advanced at pin
+        # time: the writer's commit TID exceeds the global watermark
+        # the reader pinned.
+        writes_tid = database.containers[0].concurrency.tids.last
+        assert writes_tid > 0
+        if reader_snapshot is not None:
+            assert writes_tid > reader_snapshot
+
+    def test_versions_are_gcd_after_readers_finish(self):
+        database = _pair_db("mvocc")
+        _overlap_reader_with_writer(database)
+        database.run("a", "set_both", "b", 8.0)  # prunes at install
+        database.gc_versions()
+        assert database.version_stats()["live_versions"] == 0
+
+
+class TestReadOnlyEnforcement:
+    """Satellite regression: every mutation path of a read-only root
+    raises the same typed error from ``repro.errors``."""
+
+    def test_snapshot_session_refuses_all_mutations(self):
+        database = _pair_db("mvocc")
+        table = database.reactor("a").table("kv")
+        session = SnapshotSession(1, 0, snapshot_tid=10)
+        with pytest.raises(ReadOnlyViolation):
+            session.insert(table, {"k": "x", "v": 0.0})
+        with pytest.raises(ReadOnlyViolation):
+            session.update(table, ("a",), {"v": 0.0})
+        with pytest.raises(ReadOnlyViolation):
+            session.delete(table, ("a",))
+
+    def test_validated_session_refuses_all_mutations(self):
+        database = _pair_db("occ")
+        table = database.reactor("a").table("kv")
+        manager = database.containers[0].concurrency
+        session = manager.begin_session(1)
+        session.owner = SimpleNamespace(read_only=True)
+        with pytest.raises(ReadOnlyViolation):
+            session.insert(table, {"k": "x", "v": 0.0})
+        with pytest.raises(ReadOnlyViolation):
+            session.update(table, ("a",), {"v": 0.0})
+        with pytest.raises(ReadOnlyViolation):
+            session.delete(table, ("a",))
+
+    @pytest.mark.parametrize("proc", ["bad_insert", "bad_update",
+                                      "bad_delete"])
+    @pytest.mark.parametrize("scheme", ["occ", "mvocc"])
+    def test_read_only_roots_abort_through_the_runtime(self, scheme,
+                                                       proc):
+        database = _pair_db(scheme)
+        outcomes: dict = {}
+        _submit_collect(database, outcomes, "bad", "a", proc)
+        database.scheduler.run()
+        committed, reason, __ = outcomes["bad"]
+        assert not committed
+        assert "read-only" in reason or "snapshot" in reason
+        # State untouched.
+        assert database.table_rows("a", "kv") == [{"k": "a", "v": 1.0}]
+
+    def test_replica_routed_root_aborts_with_typed_error(self):
+        database = _pair_db(
+            "occ",
+            replication=ReplicationConfig(
+                replicas_per_container=1, mode="async",
+                read_from_replicas=True))
+        outcomes: dict = {}
+        _submit_collect(database, outcomes, "bad", "a", "bad_update")
+        database.scheduler.run()
+        committed, reason, __ = outcomes["bad"]
+        assert not committed
+        assert "read-only" in reason
+        assert database.replication.stats.reads_routed_to_replicas == 1
+
+
+class TestDeploymentThreading:
+    def test_snapshot_reads_round_trips_dict_and_json(self):
+        config = shared_nothing(2, cc_scheme="2pl_nowait",
+                                snapshot_reads=True)
+        assert config.snapshot_reads_effective
+        restored = DeploymentConfig.from_dict(config.to_dict())
+        assert restored.snapshot_reads is True
+        assert restored.cc_scheme == "2pl_nowait"
+        again = DeploymentConfig.from_json(config.to_json())
+        assert again.snapshot_reads is True
+
+    def test_mvocc_round_trips_and_implies_snapshots(self):
+        config = shared_everything_with_affinity(2, cc_scheme="mvocc")
+        assert not config.snapshot_reads
+        assert config.snapshot_reads_effective
+        restored = DeploymentConfig.from_dict(config.to_dict())
+        assert restored.cc_scheme == "mvocc"
+        assert restored.snapshot_reads_effective
+
+    def test_read_from_replicas_accepts_mvocc_and_snapshotting_2pl(self):
+        replication = ReplicationConfig(replicas_per_container=1,
+                                        mode="async",
+                                        read_from_replicas=True)
+        shared_nothing(2, cc_scheme="mvocc", replication=replication)
+        shared_nothing(2, cc_scheme="2pl_nowait", snapshot_reads=True,
+                       replication=replication)
+        with pytest.raises(DeploymentError, match="read_from_replicas"):
+            shared_nothing(2, cc_scheme="2pl_nowait",
+                           replication=replication)
+
+
+class TestReplicaSnapshotReads:
+    def test_bounded_staleness_read_at_applied_watermark(self):
+        """A replica-routed snapshot read pins the replica's applied
+        watermark: it sees the applied prefix, not in-flight ships."""
+        database = ReactorDatabase(
+            shared_everything_with_affinity(
+                2, cc_scheme="mvocc",
+                replication=ReplicationConfig(
+                    replicas_per_container=1, mode="async",
+                    read_from_replicas=True, async_lag_us=5_000.0)),
+            smallbank.declarations(4))
+        smallbank.load(database, 4)
+        outcomes: dict = {}
+        _submit_collect(database, outcomes, "write", "cust0",
+                        "deposit_checking", 500.0)
+        # Submitted well inside the async apply lag: the replica has
+        # not applied the deposit yet.
+        database.scheduler.at(
+            1_000.0, _submit_collect, database, outcomes, "read",
+            "cust0", "balance")
+        database.scheduler.run()
+        assert outcomes["write"][0]
+        committed, __, balance = outcomes["read"]
+        assert committed
+        assert balance == pytest.approx(2 * smallbank.INITIAL_BALANCE)
+        assert database.replication.stats.reads_routed_to_replicas == 1
+        assert database.version_stats()["read_only_aborts"] == {}
+        # The replica eventually applied everything (scheduler drained).
+        final = database.run("cust0", "balance")
+        assert final == pytest.approx(
+            2 * smallbank.INITIAL_BALANCE + 500.0)
+
+
+class TestPromotionTidFloor:
+    def test_promoted_replica_commits_above_pinned_snapshots(self):
+        """Regression: a lagging replica promoted mid-run must not
+        issue commit TIDs at or below an in-flight pinned snapshot —
+        promotion advances its generator past the global watermark."""
+        database = _pair_db(
+            "mvocc",
+            replication=ReplicationConfig(
+                replicas_per_container=1, mode="async",
+                async_lag_us=50_000.0))
+        database.enable_snapshot_audit()
+        outcomes: dict = {}
+        # A write on b advances container 1's primary generator; the
+        # replica (big async lag) applies nothing before the kill.
+        _submit_collect(database, outcomes, "w1", "b", "set_v", 5.0)
+        # A slow reader pins the global watermark and stays in flight
+        # across the failover.
+        database.scheduler.at(100.0, _submit_collect, database,
+                              outcomes, "reader", "a", "slow_sum", "a")
+        database.scheduler.at(
+            300.0, database.replication.kill_and_promote, 1)
+        post: dict = {}
+
+        def on_w2(root, committed, reason, result):
+            post["committed"] = committed
+            post["commit_tid"] = root.commit_tid
+
+        database.scheduler.at(
+            400.0, lambda: database.submit("b", "set_v", 6.0,
+                                           on_done=on_w2))
+        database.scheduler.run()
+        assert outcomes["w1"][0]
+        assert outcomes["reader"][0]
+        assert post["committed"]
+        snapshot_tid = max(e.snapshot_tid
+                           for e in database.storage.audit)
+        assert post["commit_tid"] > snapshot_tid
+
+
+class TestPromotionPinRescope:
+    def test_in_flight_replica_reader_survives_promotion(self):
+        """Regression: a snapshot reader served on a replica that gets
+        promoted mid-read keeps its version retention — post-promotion
+        installs must not GC the versions its pin still reaches."""
+        from repro.core.deployment import (
+            AFFINITY,
+            ContainerSpec,
+            DeploymentConfig,
+        )
+
+        # One container, two executors, both reactors pinned there —
+        # the reader's remote sub-call to b releases a's executor, so
+        # the post-promotion writer really commits inside its window.
+        database = ReactorDatabase(
+            DeploymentConfig(
+                name="promo-pin", routing=AFFINITY,
+                containers=[ContainerSpec(executors=2, mpl=2)],
+                pin_reactors=True, cc_scheme="mvocc",
+                replication=ReplicationConfig(
+                    replicas_per_container=1, mode="async",
+                    read_from_replicas=True, async_lag_us=1.0)),
+            [("a", PAIR), ("b", PAIR)])
+        database.load("a", "kv", [{"k": "a", "v": 1.0}])
+        database.load("b", "kv", [{"k": "b", "v": 2.0}])
+        outcomes: dict = {}
+        # Read-only root routed to the replica; it reads a, blocks on
+        # b's slow read, and re-reads a afterwards.
+        _submit_collect(database, outcomes, "reader", "a",
+                        "double_check", "b")
+        database.scheduler.at(
+            200.0, database.replication.kill_and_promote, 0)
+        database.scheduler.at(
+            250.0, _submit_collect, database, outcomes, "writer",
+            "a", "set_v", 9.0)
+        database.scheduler.run()
+        assert database.replication.stats.reads_routed_to_replicas == 1
+        assert outcomes["writer"][0]
+        committed, __, result = outcomes["reader"]
+        assert committed, outcomes["reader"]
+        # Both reads of 'a' resolve at the pinned snapshot (1.0 each,
+        # b contributes 2.0) — never 9.0 and never a missing row.
+        assert result == pytest.approx(4.0)
+
+
+class TestSnapshotIsolationCertificate:
+    def _certified_db(self):
+        database = _pair_db("mvocc")
+        enable_durability(database)
+        database.enable_snapshot_audit()
+        outcomes = _overlap_reader_with_writer(database)
+        assert outcomes["reader"][0]
+        database.run("a", "get_v")
+        return database
+
+    def test_clean_run_certifies(self):
+        database = self._certified_db()
+        report = certify_snapshot_isolation(database)
+        assert report["enabled"]
+        assert report["ok"], report["violations"]
+        assert report["log_checked"]  # durability anchored rule 2
+        assert report["reads_checked"] >= 3
+        assert report["roots_checked"] >= 2
+
+    def test_missing_durability_is_disclosed_not_passed(self):
+        """Regression: without a redo log the newest-at-snapshot check
+        cannot run — the certificate must say so, not silently pass."""
+        database = _pair_db("mvocc")
+        database.enable_snapshot_audit()
+        database.run("a", "get_v")
+        report = certify_snapshot_isolation(database)
+        assert report["enabled"]
+        assert not report["log_checked"]
+
+    def test_stale_read_tamper_rejected(self):
+        database = self._certified_db()
+        events = list(database.storage.audit)
+        target = next(i for i, e in enumerate(events)
+                      if e.observed_tid > 0)
+        events[target] = dataclasses.replace(
+            events[target],
+            observed_tid=events[target].observed_tid - 1)
+        report = certify_snapshot_isolation(database, events=events)
+        assert not report["ok"]
+        assert report["violations"][0]["kind"] == "stale-read"
+
+    def test_future_read_tamper_rejected(self):
+        database = self._certified_db()
+        events = list(database.storage.audit)
+        events[0] = dataclasses.replace(
+            events[0], observed_tid=events[0].snapshot_tid + 1)
+        report = certify_snapshot_isolation(database, events=events)
+        assert not report["ok"]
+        assert report["violations"][0]["kind"] == "future-read"
+
+    def test_split_snapshot_tamper_rejected(self):
+        database = self._certified_db()
+        events = [e for e in database.storage.audit]
+        same_root = [e for e in events
+                     if e.txn_id == events[0].txn_id]
+        if len(same_root) < 2:  # pragma: no cover - layout guard
+            pytest.skip("need a multi-read root")
+        idx = events.index(same_root[1])
+        events[idx] = dataclasses.replace(
+            events[idx], snapshot_tid=events[idx].snapshot_tid + 1)
+        report = certify_snapshot_isolation(database, events=events)
+        assert not report["ok"]
+        assert any(v["kind"] == "split-snapshot"
+                   for v in report["violations"])
+
+    def test_disabled_audit_reports_disabled(self):
+        database = _pair_db("mvocc")
+        report = certify_snapshot_isolation(database)
+        assert not report["enabled"]
+        assert report["ok"]
+
+
+class TestRecoveryAndMigration:
+    def test_recovery_replays_into_the_versioned_engine(self):
+        database = _pair_db("mvocc")
+        durability = enable_durability(database)
+        database.run("a", "set_both", "b", 5.0)
+        checkpoint = take_checkpoint(database)
+        database.run("a", "set_v", 6.0)
+
+        recovered = recover(
+            shared_nothing(2, cc_scheme="mvocc"),
+            [("a", PAIR), ("b", PAIR)],
+            checkpoint, durability.logs.values())
+        enable_durability(recovered)
+        recovered.enable_snapshot_audit()
+        assert recovered.run("a", "get_v") == pytest.approx(6.0)
+        assert recovered.run("b", "get_v") == pytest.approx(5.0)
+        # Post-recovery writers install versions for snapshot readers.
+        outcomes = _overlap_reader_with_writer(recovered)
+        assert outcomes["reader"][0]
+        assert outcomes["reader"][2] == pytest.approx(11.0)
+        report = certify_snapshot_isolation(recovered)
+        assert report["ok"], report["violations"]
+
+    def test_pinned_reader_survives_a_mid_flight_migration(self):
+        """Regression: a snapshot pinned before a migration must still
+        resolve pre-watermark state on the successor — the copy ships
+        the retained version history, not just the flat watermark cut."""
+        database = _pair_db("mvocc")
+        enable_durability(database)
+        database.enable_snapshot_audit()
+        outcomes: dict = {}
+        # Reader on 'b' pins, stalls, then calls the migrating 'a'.
+        _submit_collect(database, outcomes, "reader", "b",
+                        "slow_sum", "a")
+        database.scheduler.at(
+            50.0, _submit_collect, database, outcomes, "writer",
+            "a", "set_v", 9.0)
+        database.scheduler.at(100.0, database.migrate, "a", 1)
+        database.scheduler.run()
+        assert outcomes["writer"][0]
+        committed, __, result = outcomes["reader"]
+        assert committed
+        # The snapshot predates the writer AND the migration: the
+        # successor must serve a=1.0, not 9.0 and not a missing row.
+        assert result == pytest.approx(3.0)
+        assert database.reactor("a").container.container_id == 1
+        report = certify_snapshot_isolation(database)
+        assert report["ok"], report["violations"]
+
+    def test_snapshot_scan_keeps_hash_index_equality_contract(self):
+        """Regression: snapshot scans refuse hash-index range scans
+        exactly like validated sessions (scheme-independent errors)."""
+        from repro.errors import QueryError
+        from repro.relational import IndexSpec, int_col, make_schema
+        from repro.relational.table import Table
+
+        schema = make_schema(
+            "t", [int_col("id"), int_col("grp")], ["id"],
+            [IndexSpec("by_grp", ("grp",), ordered=False)])
+        table = Table(schema)
+        for i in range(4):
+            table.load_row({"id": i, "grp": i % 2}, tid=1)
+        session = SnapshotSession(1, 0, snapshot_tid=5)
+        with pytest.raises(QueryError, match="equality only"):
+            session.scan(table, index="by_grp", low=(0,), high=(1,))
+        with pytest.raises(QueryError, match="equality only"):
+            session.scan(table, index="by_grp")
+        result = session.scan(table, index="by_grp", low=(1,),
+                              high=(1,))
+        assert [r["id"] for r in result.rows] == [1, 3]
+
+    def test_indexed_snapshot_scan_examines_candidates_not_table(self):
+        """Regression: indexed snapshot scans examine index candidates
+        plus the chained set — not the whole table — while rows
+        re-keyed or deleted after the snapshot still resolve."""
+        from repro.relational import IndexSpec, int_col, make_schema
+        from repro.relational.table import Table
+        from repro.storage import StorageCoordinator
+
+        schema = make_schema(
+            "t", [int_col("id"), int_col("v")], ["id"],
+            [IndexSpec("by_v", ("v",), ordered=True)])
+        table = Table(schema)
+        coordinator = StorageCoordinator()
+        table.versioning = coordinator
+        for i in range(100):
+            table.load_row({"id": i, "v": i}, tid=1)
+        coordinator.pin(1, 1)
+        # After the pin: one row re-keyed out of the range, one
+        # deleted — both must still appear to the snapshot.
+        table.install_update(table.get_record((5,)),
+                             {"id": 5, "v": 500}, 10)
+        table.install_delete(table.get_record((6,)), 11)
+        session = SnapshotSession(1, 0, snapshot_tid=1)
+        result = session.scan(table, index="by_v", low=(3,), high=(8,))
+        assert [r["id"] for r in result.rows] == [3, 4, 5, 6, 7, 8]
+        assert result.examined <= 10  # candidates + chains, not 100
+
+    def test_unindexed_equality_select_uses_hash_probe(self):
+        """Regression: an equality-predicate scan with no explicit
+        index takes the hash-index fast path like validated sessions —
+        not a full-table walk."""
+        from repro.relational import IndexSpec, int_col, make_schema
+        from repro.relational.predicate import col
+        from repro.relational.table import Table
+
+        schema = make_schema(
+            "t", [int_col("id"), int_col("grp")], ["id"],
+            [IndexSpec("by_grp", ("grp",), ordered=False)])
+        table = Table(schema)
+        for i in range(100):
+            table.load_row({"id": i, "grp": i % 10}, tid=1)
+        session = SnapshotSession(1, 0, snapshot_tid=5)
+        result = session.scan(table, col("grp") == 3)
+        assert [r["id"] for r in result.rows] == list(range(3, 100, 10))
+        assert result.examined <= 12  # probe + chains, not 100
+
+    def test_migrated_in_replica_seeds_carry_the_watermark(self):
+        """Regression: re-homed replica shadows are seeded at the
+        migration watermark, not tid 0 — a replica snapshot pinned
+        below the watermark must not see migrated-in future state."""
+        database = _pair_db(
+            "mvocc",
+            replication=ReplicationConfig(
+                replicas_per_container=1, mode="async",
+                read_from_replicas=True))
+        database.run("a", "set_v", 9.0)
+        migration = database.migrate("a", 1)
+        database.scheduler.run()
+        assert migration.done
+        replica = database.replication.replicas[1][0]
+        shadow = replica.shadow("a")
+        record = shadow.table("kv").get_record(("a",))
+        assert record.tid == migration.watermark > 0
+        # Below the watermark the migrated-in row is invisible.
+        assert record.visible_at(migration.watermark - 1) is None
+        # Fresh replica-routed reads pin at the seed floor (the
+        # replica's materialized position) and see the row.
+        assert replica.snapshot_floor == migration.watermark
+        assert database.run("a", "get_v") == pytest.approx(9.0)
+
+    def test_migration_copies_a_consistent_cut_and_reads_certify(self):
+        database = _pair_db("mvocc")
+        enable_durability(database)
+        database.enable_snapshot_audit()
+        database.run("a", "set_v", 9.0)
+        database.migrate("a", 1)
+        database.scheduler.run()
+        assert database.reactor("a").container.container_id == 1
+        assert certify_migration(database)["ok"]
+        # Snapshot reads over the migrated (watermark-restamped)
+        # reactor still certify.
+        assert database.run("a", "get_v") == pytest.approx(9.0)
+        report = certify_snapshot_isolation(database)
+        assert report["ok"], report["violations"]

@@ -48,7 +48,8 @@ class TestYcsb:
     def test_multi_update_atomic_on_missing_key(self):
         db = small_ycsb()
         keys = [ycsb.key_name(0), ycsb.key_name(1)]
-        db.reactor(ycsb.key_name(1)).table("kv")._records.clear()
+        table = db.reactor(ycsb.key_name(1)).table("kv")
+        table.store.pop((ycsb.key_name(1),))
         from repro.errors import TransactionAbort
         with pytest.raises(TransactionAbort):
             db.run(ycsb.key_name(0), "multi_update", keys, "Q")
