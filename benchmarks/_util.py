@@ -41,7 +41,16 @@ def _ensure_results_dir() -> None:
 
 
 def git_sha() -> str:
-    """The repository HEAD the benchmark ran at, or ``"unknown"``."""
+    """The repository HEAD the benchmark ran at, or ``"unknown"``.
+
+    In CI the SHA comes from ``GITHUB_SHA`` — deterministic and free
+    of git subprocess calls (actions/checkout detaches HEAD, and a
+    shallow checkout may not even have the ref state a subprocess
+    would need).
+    """
+    env_sha = os.environ.get("GITHUB_SHA", "").strip()
+    if env_sha:
+        return env_sha
     try:
         out = subprocess.run(
             ["git", "rev-parse", "HEAD"],

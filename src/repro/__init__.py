@@ -34,7 +34,8 @@ Public exports: the programming-model surface
 :class:`~repro.core.context.ReactorContext`), the deployment-time
 knobs (:class:`~repro.core.deployment.DeploymentConfig`, the S1/S2/S3
 factories, :class:`~repro.replication.config.ReplicationConfig`,
-:class:`~repro.migration.config.MigrationConfig`), the error roots
+:class:`~repro.migration.config.MigrationConfig`,
+:class:`~repro.durability.config.DurabilityConfig`), the error roots
 (:class:`~repro.errors.ReactorError`,
 :class:`~repro.errors.TransactionAbort`,
 :class:`~repro.errors.UserAbort`) and the two machine profiles.
@@ -49,6 +50,7 @@ from repro.core import (
     shared_everything_without_affinity,
     shared_nothing,
 )
+from repro.durability.config import DurabilityConfig
 from repro.errors import ReactorError, TransactionAbort, UserAbort
 from repro.migration import MigrationConfig
 from repro.replication import ReplicationConfig
@@ -63,6 +65,7 @@ __all__ = [
     "DeploymentConfig",
     "ReplicationConfig",
     "MigrationConfig",
+    "DurabilityConfig",
     "shared_everything_without_affinity",
     "shared_everything_with_affinity",
     "shared_nothing",

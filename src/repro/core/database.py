@@ -124,6 +124,14 @@ class ReactorDatabase:
                 reactor.pinned_executor = executor
             self._reactors[name] = reactor
 
+        if deployment.durability.enabled:
+            # Attach before replication so the configured
+            # durability_mode wins: replication enables durability
+            # implicitly (idempotently) with the legacy async default.
+            from repro.durability.recovery import enable_durability
+
+            enable_durability(self, mode=deployment.durability.mode)
+
         if deployment.replication.enabled:
             from repro.replication.manager import ReplicationManager
 
@@ -360,18 +368,32 @@ class ReactorDatabase:
         mirrored to the reactor's replicas directly.
         """
         table = self.reactor(reactor_name).table(table_name)
-        if self.replication is None:
+        if self.replication is None and self.durability is None:
             count = 0
             for row in rows:
                 table.load_row(row)
                 count += 1
             return count
-        loaded = [dict(row) for row in rows]
-        for row in loaded:
-            table.load_row(row)
-        if loaded:
-            self.replication.on_bulk_load(reactor_name, table_name,
-                                          loaded)
+        if self.replication is not None:
+            # The replica mirror keeps the rows, so it needs owned
+            # copies; durability below only reads their keys.
+            loaded: list = [dict(row) for row in rows]
+            for row in loaded:
+                table.load_row(row)
+            if loaded:
+                self.replication.on_bulk_load(reactor_name,
+                                              table_name, loaded)
+        else:
+            loaded = []
+            for row in rows:
+                table.load_row(row)
+                loaded.append(row)
+        if loaded and self.durability is not None:
+            # Loads bypass the redo log; the incremental-checkpoint
+            # dirty tracker must still see their keys.
+            self.durability.note_bulk_load(
+                reactor_name, table_name,
+                (table.schema.primary_key_of(row) for row in loaded))
         return len(loaded)
 
     def table_rows(self, reactor_name: str,
@@ -427,6 +449,13 @@ class ReactorDatabase:
         if self.replication is None:
             return {"mode": "none", "replicas_per_container": 0}
         return self.replication.stats_dict()
+
+    def durability_stats(self) -> dict[str, Any]:
+        """Group-commit flush / checkpoint metrics (empty when the
+        database runs without durability)."""
+        if self.durability is None:
+            return {"mode": "none"}
+        return self.durability.stats_dict()
 
     # ------------------------------------------------------------------
     # Online migration and elastic rebalancing (repro.migration)

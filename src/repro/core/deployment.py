@@ -34,6 +34,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.durability.config import NO_DURABILITY, DurabilityConfig
 from repro.errors import DeploymentError
 from repro.migration.config import DEFAULT_MIGRATION, MigrationConfig
 from repro.replication.config import NO_REPLICATION, ReplicationConfig
@@ -151,6 +152,13 @@ class DeploymentConfig:
     reactor migrations (``db.migrate`` / ``db.rebalance``) drain and
     whether the elastic rebalancing policy runs automatically — so
     *placement over time* is a config edit too.
+
+    ``durability`` extends the claim to persistence: a
+    :class:`~repro.durability.config.DurabilityConfig` decides whether
+    redo logging is on and when a commit may be acknowledged relative
+    to its log flush (``durability_mode``: ``sync`` force-at-commit,
+    ``group`` epoch-based group commit, or ``async`` background
+    flushing) — again a config edit, never an application change.
     """
 
     name: str
@@ -167,6 +175,7 @@ class DeploymentConfig:
     snapshot_reads: bool = False
     replication: ReplicationConfig = NO_REPLICATION
     migration: MigrationConfig = DEFAULT_MIGRATION
+    durability: DurabilityConfig = NO_DURABILITY
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -222,7 +231,7 @@ class DeploymentConfig:
     KNOWN_KEYS = frozenset({
         "name", "machine", "containers", "routing", "pin_reactors",
         "placement", "cc_scheme", "cc_enabled", "snapshot_reads",
-        "replication", "migration",
+        "replication", "migration", "durability",
     })
 
     def to_dict(self) -> dict[str, Any]:
@@ -240,6 +249,7 @@ class DeploymentConfig:
             "snapshot_reads": self.snapshot_reads,
             "replication": self.replication.to_dict(),
             "migration": self.migration.to_dict(),
+            "durability": self.durability.to_dict(),
         }
 
     @staticmethod
@@ -272,6 +282,8 @@ class DeploymentConfig:
                 data.get("replication", {})),
             migration=MigrationConfig.from_dict(
                 data.get("migration", {})),
+            durability=DurabilityConfig.from_dict(
+                data.get("durability", {})),
         )
 
     def to_json(self) -> str:
@@ -299,7 +311,8 @@ def shared_everything_without_affinity(
         cc_scheme: str = "occ",
         cc_enabled: bool | None = None,
         snapshot_reads: bool = False,
-        replication: ReplicationConfig | None = None
+        replication: ReplicationConfig | None = None,
+        durability: DurabilityConfig | None = None
         ) -> DeploymentConfig:
     """S1: one container, round-robin load balancing, MPL 1."""
     return DeploymentConfig(
@@ -312,6 +325,7 @@ def shared_everything_without_affinity(
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
         snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
+        durability=durability or NO_DURABILITY,
     )
 
 
@@ -321,7 +335,8 @@ def shared_everything_with_affinity(
         cc_scheme: str = "occ",
         cc_enabled: bool | None = None,
         snapshot_reads: bool = False,
-        replication: ReplicationConfig | None = None
+        replication: ReplicationConfig | None = None,
+        durability: DurabilityConfig | None = None
         ) -> DeploymentConfig:
     """S2: one container, affinity routing, MPL 1 (Silo-like setup)."""
     return DeploymentConfig(
@@ -334,6 +349,7 @@ def shared_everything_with_affinity(
         cc_scheme=_resolve_scheme(cc_scheme, cc_enabled),
         snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
+        durability=durability or NO_DURABILITY,
     )
 
 
@@ -344,7 +360,8 @@ def shared_nothing(n_containers: int,
                    cc_enabled: bool | None = None,
                    snapshot_reads: bool = False,
                    replication: ReplicationConfig | None = None,
-                   migration: MigrationConfig | None = None
+                   migration: MigrationConfig | None = None,
+                   durability: DurabilityConfig | None = None
                    ) -> DeploymentConfig:
     """S3: one executor per container, reactors pinned.
 
@@ -365,4 +382,5 @@ def shared_nothing(n_containers: int,
         snapshot_reads=snapshot_reads,
         replication=replication or NO_REPLICATION,
         migration=migration or DEFAULT_MIGRATION,
+        durability=durability or NO_DURABILITY,
     )

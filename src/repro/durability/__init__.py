@@ -1,26 +1,54 @@
-"""Durability: redo logging, checkpoints, crash recovery.
+"""Durability: group commit, incremental checkpoints, crash recovery.
 
 The paper's prototype has no durability and points at log-based
 recovery (SiloR-style) plus distributed checkpoints as the intended
 design.  This package implements that future-work feature over the
-simulated ReactDB: per-container logical redo logs keyed by commit
-TID, quiescent checkpoints, and recovery by checkpoint restore +
-TID-ordered replay.  Recovery may target a different deployment than
-the crashed database — architecture virtualization extends to
-recovery.
+simulated ReactDB — and makes *when a commit is durable* a deployment
+knob:
 
-Public exports: the redo-log types (:class:`RedoLog`,
-:class:`RedoRecord`, :class:`RedoEntry`, the ``INSERT`` / ``UPDATE`` /
-``DELETE`` kinds, ``apply_record_to``), checkpoints
-(:class:`Checkpoint`, ``take_checkpoint``) and the recovery driver
-(:class:`DurabilityManager`, ``enable_durability``, ``recover``).
+* per-container logical redo logs keyed by commit TID
+  (:mod:`repro.durability.wal`), flushed through epoch-based group
+  commit pipelines (:mod:`repro.durability.group_commit`) under a
+  ``durability_mode`` of ``sync`` (force-at-commit), ``group``
+  (epoch-batched acknowledgement) or ``async`` (background flushing) —
+  see :class:`~repro.durability.config.DurabilityConfig`;
+* quiescent checkpoints, full or *incremental* (dirty-key segments
+  chained in a :class:`~repro.durability.checkpoint.CheckpointManifest`
+  with WAL truncation watermarks that respect pinned snapshots,
+  replica positions, and migrations);
+* recovery by checkpoint restore + TID-ordered replay — serial
+  (:func:`~repro.durability.recovery.recover`) or parallel over
+  per-reactor log partitions
+  (:func:`~repro.durability.partitioned.recover_partitioned`), from
+  live logs or from a kill-at-arbitrary-epoch
+  :class:`~repro.durability.recovery.CrashImage`.  Recovery may target
+  a different deployment than the crashed database — architecture
+  virtualization extends to recovery.
 """
 
-from repro.durability.checkpoint import Checkpoint, take_checkpoint
+from repro.durability.checkpoint import (
+    Checkpoint,
+    CheckpointManifest,
+    CheckpointSegment,
+    take_checkpoint,
+)
+from repro.durability.config import (
+    DURABILITY_MODES,
+    NO_DURABILITY,
+    DurabilityConfig,
+)
+from repro.durability.group_commit import LogFlusher
+from repro.durability.partitioned import (
+    RecoveryReport,
+    recover_image_partitioned,
+    recover_partitioned,
+)
 from repro.durability.recovery import (
+    CrashImage,
     DurabilityManager,
     enable_durability,
     recover,
+    recover_from_image,
 )
 from repro.durability.wal import (
     DELETE,
@@ -29,6 +57,7 @@ from repro.durability.wal import (
     RedoEntry,
     RedoLog,
     RedoRecord,
+    apply_entry_to,
     apply_record_to,
 )
 
@@ -40,9 +69,21 @@ __all__ = [
     "UPDATE",
     "DELETE",
     "Checkpoint",
+    "CheckpointManifest",
+    "CheckpointSegment",
     "take_checkpoint",
+    "DurabilityConfig",
+    "DURABILITY_MODES",
+    "NO_DURABILITY",
     "DurabilityManager",
+    "CrashImage",
+    "LogFlusher",
+    "RecoveryReport",
     "enable_durability",
     "recover",
+    "recover_from_image",
+    "recover_partitioned",
+    "recover_image_partitioned",
     "apply_record_to",
+    "apply_entry_to",
 ]

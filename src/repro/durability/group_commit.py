@@ -1,0 +1,214 @@
+"""Epoch-based group commit: the per-container log-flush pipeline.
+
+Redo records are appended to the in-memory :class:`~repro.durability.
+wal.RedoLog` at install time, but installation is not durability: a
+record survives a crash only once its epoch's batched flush has landed
+on the container's log device.  A :class:`LogFlusher` models that
+device:
+
+* appends join the *open epoch*; the first append of an epoch
+  schedules its flush ``flush_interval_us`` later, and accumulating
+  ``flush_batch_bytes`` of records flushes the epoch early;
+* a flush occupies the log device for ``fsync_cost`` virtual
+  microseconds and the device is serial — a container has one log
+  disk, so under ``sync`` mode (one single-record epoch per writing
+  commit) commits queue on it, which is exactly the contention group
+  commit exists to amortize;
+* when the flush completes, every record of the epoch becomes durable
+  (the durable set is always a *prefix* of the append order — epochs
+  flush FIFO through the serial device) and the epoch's ack futures
+  resolve, releasing the root transactions the executor parked on
+  them.
+
+The executor defers root completion on a per-commit ack future exactly
+the way sync replication defers on replica acks; ``async`` mode never
+hands out futures (commits acknowledge immediately, flushes trail in
+the background), which makes the bare ``enable_durability`` of earlier
+revisions — logging with free acknowledgements — the ``async`` point
+of the new spectrum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.durability.config import ASYNC, GROUP, SYNC
+from repro.durability.wal import RedoRecord
+from repro.runtime.futures import SimFuture
+
+
+@dataclass
+class FlushStats:
+    """Per-container flush-pipeline counters."""
+
+    fsyncs: int = 0
+    records_flushed: int = 0
+    bytes_flushed: int = 0
+    early_flushes: int = 0
+    #: Virtual time the log device spent busy (fsync_cost per flush).
+    device_busy_us: float = 0.0
+
+    @property
+    def records_per_fsync(self) -> float:
+        if not self.fsyncs:
+            return 0.0
+        return self.records_flushed / self.fsyncs
+
+
+class FlushEpoch:
+    """One group-commit epoch: the batch one fsync makes durable."""
+
+    __slots__ = ("seq", "opened_at", "records", "bytes", "waiters",
+                 "event", "closed", "durable")
+
+    def __init__(self, seq: int, opened_at: float) -> None:
+        self.seq = seq
+        self.opened_at = opened_at
+        self.records: list[RedoRecord] = []
+        self.bytes = 0
+        #: Per-commit ack futures resolved when the flush lands.
+        self.waiters: list[SimFuture] = []
+        self.event: Any = None
+        self.closed = False
+        self.durable = False
+
+
+class LogFlusher:
+    """The flush pipeline of one container's redo log."""
+
+    def __init__(self, container_id: int, scheduler: Any, costs: Any,
+                 mode: str) -> None:
+        self.container_id = container_id
+        self.scheduler = scheduler
+        self.costs = costs
+        self.mode = mode
+        self.stats = FlushStats()
+        #: Virtual time the serial log device frees up.
+        self.disk_free_at = 0.0
+        #: Appended records made durable so far — always a prefix of
+        #: the container's append order.
+        self.flushed_records = 0
+        #: Highest commit TID known durable on this container.
+        self.durable_tid = 0
+        self._epoch_seq = 0
+        self._open: FlushEpoch | None = None
+        #: commit TID -> the epoch that will make it durable.
+        self._record_epoch: dict[int, FlushEpoch] = {}
+
+    # ------------------------------------------------------------------
+    # Append intake (a RedoLog extra-listener)
+    # ------------------------------------------------------------------
+
+    def on_append(self, record: RedoRecord) -> None:
+        if self.mode == SYNC:
+            # Force-at-commit: a single-record epoch flushed now, so
+            # each writing commit pays (and queues for) its own fsync.
+            epoch = self._new_epoch()
+            self._join(epoch, record)
+            self._flush_epoch(epoch)
+            return
+        epoch = self._open
+        if epoch is None:
+            epoch = self._open = self._new_epoch()
+            epoch.event = self.scheduler.after(
+                self.costs.flush_interval_us, self._flush_epoch, epoch)
+        self._join(epoch, record)
+        if epoch.bytes >= self.costs.flush_batch_bytes and \
+                not epoch.closed:
+            # Batch threshold reached: flush early instead of waiting
+            # out the interval.
+            epoch.event.cancel()
+            epoch.event = self.scheduler.soon(self._flush_epoch, epoch)
+            epoch.closed = True
+            self.stats.early_flushes += 1
+
+    def _new_epoch(self) -> FlushEpoch:
+        self._epoch_seq += 1
+        return FlushEpoch(self._epoch_seq, self.scheduler.now)
+
+    def _join(self, epoch: FlushEpoch, record: RedoRecord) -> None:
+        epoch.records.append(record)
+        epoch.bytes += record.byte_size
+        self._record_epoch[record.commit_tid] = epoch
+
+    # ------------------------------------------------------------------
+    # Flushing
+    # ------------------------------------------------------------------
+
+    def _flush_epoch(self, epoch: FlushEpoch) -> None:
+        if epoch is self._open:
+            self._open = None
+        epoch.closed = True
+        # The serial log device: this flush starts when the disk frees.
+        start = max(self.scheduler.now, self.disk_free_at)
+        done = start + self.costs.fsync_cost
+        self.disk_free_at = done
+        self.stats.fsyncs += 1
+        self.stats.device_busy_us += self.costs.fsync_cost
+        self.scheduler.at(done, self._epoch_durable, epoch)
+
+    def _epoch_durable(self, epoch: FlushEpoch) -> None:
+        epoch.durable = True
+        self.flushed_records += len(epoch.records)
+        self.stats.records_flushed += len(epoch.records)
+        self.stats.bytes_flushed += epoch.bytes
+        for record in epoch.records:
+            if record.commit_tid > self.durable_tid:
+                self.durable_tid = record.commit_tid
+            self._record_epoch.pop(record.commit_tid, None)
+        waiters, epoch.waiters = epoch.waiters, []
+        now = self.scheduler.now
+        for future in waiters:
+            future.resolve(epoch.seq, now)
+
+    def kick(self) -> None:
+        """Close and flush the open epoch now (durability barriers:
+        migration state copies, explicit flush points in tests)."""
+        epoch = self._open
+        if epoch is not None and not epoch.closed:
+            epoch.event.cancel()
+            epoch.event = self.scheduler.soon(self._flush_epoch, epoch)
+            epoch.closed = True
+
+    # ------------------------------------------------------------------
+    # Commit acknowledgement
+    # ------------------------------------------------------------------
+
+    def ack_future(self, commit_tid: int) -> SimFuture | None:
+        """The future a commit must wait on before acknowledging, or
+        ``None`` when it is already durable (or ``async`` mode never
+        waits)."""
+        if self.mode == ASYNC:
+            return None
+        epoch = self._record_epoch.get(commit_tid)
+        if epoch is None or epoch.durable:
+            return None
+        future = SimFuture(remote=False, subtxn_id=0,
+                           target_reactor=f"log:{self.container_id}")
+        epoch.waiters.append(future)
+        return future
+
+    def unflushed_records(self) -> int:
+        """Records appended but not yet durable (the crash-loss
+        window of the current epoch(s))."""
+        return sum(len(e.records) for e in
+                   set(self._record_epoch.values()) if not e.durable)
+
+    def stats_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "fsyncs": self.stats.fsyncs,
+            "records_flushed": self.stats.records_flushed,
+            "bytes_flushed": self.stats.bytes_flushed,
+            "early_flushes": self.stats.early_flushes,
+            "records_per_fsync": round(self.stats.records_per_fsync, 3),
+            "device_busy_us": round(self.stats.device_busy_us, 3),
+            "durable_tid": self.durable_tid,
+            "unflushed_records": self.unflushed_records(),
+        }
+
+
+MODES = (SYNC, GROUP, ASYNC)
+
+__all__ = ["LogFlusher", "FlushEpoch", "FlushStats", "MODES"]

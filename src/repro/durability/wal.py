@@ -15,6 +15,7 @@ recovery can also be exercised across files.
 
 from __future__ import annotations
 
+import functools
 import json
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable
@@ -76,25 +77,44 @@ class RedoRecord:
                           for e in data["entries"]),
         )
 
+    @functools.cached_property
+    def byte_size(self) -> int:
+        """Serialized size of this record — what the group-commit
+        batcher accumulates against ``flush_batch_bytes``.  Cached:
+        the flush pipeline asks on every append, and records are
+        immutable."""
+        return len(self.to_json_line())
+
 
 class RedoLog:
     """Per-container append-only redo log.
 
     ``listener`` (when set) observes every appended record — the
-    log-shipping hook of :mod:`repro.replication`.  It fires at append
-    time only; bulk-restored records (recovery, promotion seeding) are
-    assigned to ``records`` directly and are not re-shipped.
+    log-shipping hook of :mod:`repro.replication`.  ``extra_listeners``
+    carry additional append observers (the group-commit flush pipeline
+    and the durability manager's dirty-key tracker) without disturbing
+    the primary slot replication owns.  All fire at append time only;
+    bulk-restored records (recovery, promotion seeding) are assigned to
+    ``records`` directly and are not re-shipped or re-flushed.
     """
 
     def __init__(self, container_id: int) -> None:
         self.container_id = container_id
         self.records: list[RedoRecord] = []
         self.listener: Callable[[RedoRecord], None] | None = None
+        self.extra_listeners: list[Callable[[RedoRecord], None]] = []
         #: Highest TID a checkpoint truncation dropped records through
         #: (0 when the log is complete from the beginning).  Lets
         #: replay-based audits tell "no records below X" apart from
         #: "records below X were truncated away".
         self.truncated_through = 0
+        #: Set by :meth:`load_json_lines` when the serialized log ended
+        #: in a torn (half-written) line: replay stopped at the last
+        #: complete record instead of failing recovery.
+        self.torn_tail = False
+
+    def add_listener(self, fn: Callable[[RedoRecord], None]) -> None:
+        self.extra_listeners.append(fn)
 
     def append(self, commit_tid: int,
                entries: Iterable[RedoEntry]) -> None:
@@ -104,6 +124,8 @@ class RedoLog:
             self.records.append(record)
             if self.listener is not None:
                 self.listener(record)
+            for fn in self.extra_listeners:
+                fn(record)
 
     def truncate_through(self, tid: int) -> int:
         """Drop records with commit TID <= ``tid`` (post-checkpoint
@@ -123,10 +145,29 @@ class RedoLog:
 
     @staticmethod
     def load_json_lines(container_id: int, text: str) -> "RedoLog":
+        """Deserialize a log, tolerating a torn tail.
+
+        A crash can truncate the last record mid-write; recovery must
+        stop at the last *complete* record rather than refuse the whole
+        log.  Only the final non-empty line may be torn — an
+        unparseable line in the middle of the file is real corruption
+        and raises :class:`ValueError`.
+        """
         log = RedoLog(container_id)
-        for line in text.splitlines():
-            if line.strip():
-                log.records.append(RedoRecord.from_json_line(line))
+        lines = [line for line in text.splitlines() if line.strip()]
+        for index, line in enumerate(lines):
+            try:
+                record = RedoRecord.from_json_line(line)
+            except (ValueError, KeyError, TypeError) as exc:
+                if index == len(lines) - 1:
+                    log.torn_tail = True
+                    break
+                raise ValueError(
+                    f"corrupt redo record at line {index} of "
+                    f"container {container_id}'s log (not the tail): "
+                    f"{exc}"
+                ) from exc
+            log.records.append(record)
         return log
 
     def __len__(self) -> int:
@@ -144,20 +185,25 @@ def apply_record_to(table_for: Callable[[str, str], Any],
     no-op.  Shared by crash recovery and replica log apply.
     """
     for entry in record.entries:
-        table = table_for(entry.reactor, entry.table)
-        existing = table.get_record(entry.pk)
-        if entry.kind == DELETE:
-            if existing is not None:
-                table.install_delete(existing, record.commit_tid)
-        elif entry.kind == INSERT and existing is None:
-            assert entry.row is not None
-            table.install_insert(entry.row, record.commit_tid)
+        apply_entry_to(table_for(entry.reactor, entry.table), entry,
+                       record.commit_tid)
+
+
+def apply_entry_to(table: Any, entry: RedoEntry, commit_tid: int) -> None:
+    """Apply one redo entry's after-image to a live table (the unit
+    partitioned recovery replays)."""
+    existing = table.get_record(entry.pk)
+    if entry.kind == DELETE:
+        if existing is not None:
+            table.install_delete(existing, commit_tid)
+    elif entry.kind == INSERT and existing is None:
+        assert entry.row is not None
+        table.install_insert(entry.row, commit_tid)
+    else:
+        # UPDATE, or an INSERT whose key already exists: install
+        # the after-image over whatever is there.
+        assert entry.row is not None
+        if existing is None:
+            table.install_insert(entry.row, commit_tid)
         else:
-            # UPDATE, or an INSERT whose key already exists: install
-            # the after-image over whatever is there.
-            assert entry.row is not None
-            if existing is None:
-                table.install_insert(entry.row, record.commit_tid)
-            else:
-                table.install_update(existing, entry.row,
-                                     record.commit_tid)
+            table.install_update(existing, entry.row, commit_tid)

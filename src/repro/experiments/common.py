@@ -17,6 +17,7 @@ from repro.core.deployment import (
     shared_everything_without_affinity,
     shared_nothing,
 )
+from repro.durability.config import DurabilityConfig
 from repro.replication import ReplicationConfig
 from repro.sim.machine import OPTERON_6274, XEON_E3_1276, MachineProfile
 from repro.workloads import smallbank
@@ -78,7 +79,8 @@ def tpcc_deployment(strategy: str, n_executors: int,
                     mpl: int = 4,
                     cc_scheme: str = "occ",
                     cc_enabled: bool | None = None,
-                    replication: ReplicationConfig | None = None
+                    replication: ReplicationConfig | None = None,
+                    durability: DurabilityConfig | None = None
                     ) -> DeploymentConfig:
     """A TPC-C deployment per paper strategy name.
 
@@ -95,16 +97,17 @@ def tpcc_deployment(strategy: str, n_executors: int,
     if strategy == "shared-everything-without-affinity":
         return shared_everything_without_affinity(
             n_executors, machine=machine, cc_scheme=cc_scheme,
-            replication=replication)
+            replication=replication, durability=durability)
     if strategy == "shared-everything-with-affinity":
         return shared_everything_with_affinity(
             n_executors, machine=machine, cc_scheme=cc_scheme,
-            replication=replication)
+            replication=replication, durability=durability)
     if strategy in ("shared-nothing-async", "shared-nothing-sync",
                     "shared-nothing"):
         return shared_nothing(n_executors, machine=machine, mpl=mpl,
                               cc_scheme=cc_scheme,
-                              replication=replication)
+                              replication=replication,
+                              durability=durability)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -114,7 +117,8 @@ def tpcc_database(strategy: str, n_warehouses: int,
                   mpl: int = 4, n_executors: int | None = None,
                   cc_scheme: str = "occ",
                   cc_enabled: bool | None = None,
-                  replication: ReplicationConfig | None = None
+                  replication: ReplicationConfig | None = None,
+                  durability: DurabilityConfig | None = None
                   ) -> ReactorDatabase:
     """Build and load a TPC-C database under one strategy.
 
@@ -123,7 +127,7 @@ def tpcc_database(strategy: str, n_warehouses: int,
     deployment = tpcc_deployment(
         strategy, n_executors or n_warehouses, machine=machine,
         mpl=mpl, cc_scheme=cc_scheme, cc_enabled=cc_enabled,
-        replication=replication)
+        replication=replication, durability=durability)
     database = ReactorDatabase(deployment,
                                tpcc.declarations(n_warehouses))
     tpcc.load(database, n_warehouses, scale)

@@ -12,13 +12,14 @@ Public exports: history building blocks (:class:`Op`, ``read`` /
 ``serialization_order`` / ``theorem_2_7_holds``) and the runtime
 audits (:class:`HistoryRecorder` with ``attach_recorder`` /
 ``detach_recorder``, plus the black-box certificates
-``certify_replication``, ``certify_migration`` and
-``certify_snapshot_isolation``).
+``certify_replication``, ``certify_migration``,
+``certify_snapshot_isolation`` and ``certify_crash_recovery``).
 """
 
 from repro.formal.audit import (
     HistoryRecorder,
     attach_recorder,
+    certify_crash_recovery,
     certify_migration,
     certify_replication,
     certify_snapshot_isolation,
@@ -64,4 +65,5 @@ __all__ = [
     "certify_replication",
     "certify_migration",
     "certify_snapshot_isolation",
+    "certify_crash_recovery",
 ]

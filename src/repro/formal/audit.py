@@ -522,6 +522,165 @@ def certify_snapshot_isolation(database: Any,
     return report
 
 
+def certify_crash_recovery(database: Any, image: Any,
+                           recovered: Any) -> dict[str, Any]:
+    """Black-box certification of a kill-at-arbitrary-epoch crash.
+
+    ``image`` is the :class:`~repro.durability.recovery.CrashImage` a
+    :meth:`DurabilityManager.crash` produced on ``database`` (the
+    pre-crash primary), ``recovered`` the database rebuilt from it.
+    Against the durability manager's independently kept append order
+    (the reference sequence, like replication's ``shipped``), the
+    certificate asserts:
+
+    1. **no acked-commit loss** — every commit a client saw
+       acknowledged is covered by the image: for each container that
+       installed it, its record is in the durable log prefix or below
+       the checkpoint watermark.  Group/sync acknowledgement waits on
+       every participant's flush, so this holds by construction;
+       under ``async`` the flush window *can* lose acked commits —
+       the loss is reported (``lost_acked``) and tolerated for that
+       mode only, mirroring async replication's lag-window contract.
+    2. **no resurrection of unacked commits** — each image log is
+       exactly the expected durable sub-prefix of the container's
+       append order (record-by-record, so a tampered row, an injected
+       record, or a reordering is rejected), with commit TIDs
+       strictly increasing; torn cross-container commits were dropped
+       *everywhere* (a transaction recovers atomically or not at
+       all), and only unacknowledged commits ever appear torn.
+    3. **state-replay equivalence** — the recovered database's live
+       tables equal an independent flat replay of the materialized
+       checkpoint manifest plus the image records above each
+       container's checkpoint watermark, in global TID order — the
+       same replay argument the replication and migration
+       certificates rest on.
+    """
+    manager = getattr(database, "durability", None)
+    report: dict[str, Any] = {
+        "enabled": manager is not None,
+        "ok": True,
+        "mode": getattr(image, "mode", None),
+        "at_us": getattr(image, "at_us", None),
+        "containers": [],
+        "acked_checked": 0,
+        "lost_acked": [],
+        "zero_acked_loss": True,
+        "torn_commits": sorted(
+            {tid for tids in image.torn_tids.values()
+             for tid in tids}) if image is not None else [],
+        "state_ok": None,
+    }
+    if manager is None or image is None:
+        report["ok"] = False
+        return report
+
+    checkpoint_wm = image.manifest.tid_watermarks()
+    torn_sites = {tuple(site) for site in image.torn_sites}
+    torn_by_cid: dict[int, set[int]] = {}
+    for cid, pos in torn_sites:
+        torn_by_cid.setdefault(cid, set()).add(pos)
+
+    # 2. Prefix consistency per container (tamper/resurrection check).
+    for cid in sorted(manager.installed):
+        reference = manager.installed[cid]
+        flushed = image.flushed_counts.get(cid, 0)
+        truncated = image.truncated_through.get(cid, 0)
+        torn = torn_by_cid.get(cid, set())
+        expected = [r for pos, r in enumerate(reference[:flushed])
+                    if r.commit_tid > truncated
+                    and pos not in torn]
+        got = image.logs.get(cid, [])
+        prefix_ok = got == expected
+        tids = [r.commit_tid for r in got]
+        order_ok = all(a < b for a, b in zip(tids, tids[1:]))
+        entry = {
+            "container_id": cid,
+            "durable_records": len(got),
+            "installed_records": len(reference),
+            "prefix_ok": prefix_ok,
+            "commit_order_ok": order_ok,
+            "ok": prefix_ok and order_ok,
+        }
+        report["containers"].append(entry)
+        if not entry["ok"]:
+            report["ok"] = False
+
+    # Torn drops may only ever hit unacknowledged commits — under
+    # sync/group, where acknowledgement waits on every participant's
+    # flush.  Async acknowledges before flushing, so an acked
+    # cross-container commit *can* be torn there; like async's
+    # lost-acked window it is reported, not rejected (the dropped
+    # sites also surface in ``lost_acked`` below).
+    acked_sites = {tuple(site) for site in image.acked_sites}
+    report["torn_unacked_ok"] = not (torn_sites & acked_sites)
+    if not report["torn_unacked_ok"] and image.mode != "async":
+        report["ok"] = False
+
+    # 1. Acked-commit coverage, by site: each acked record must be in
+    # the durable prefix (and not torn-dropped) or below its
+    # container's checkpoint watermark.
+    for cid, pos in sorted(acked_sites):
+        report["acked_checked"] += 1
+        record = manager.installed[cid][pos] \
+            if pos < len(manager.installed.get(cid, [])) else None
+        if record is not None and \
+                record.commit_tid <= checkpoint_wm.get(cid, 0):
+            continue
+        if record is not None and \
+                pos < image.flushed_counts.get(cid, 0) and \
+                (cid, pos) not in torn_sites:
+            continue
+        report["lost_acked"].append(
+            record.commit_tid if record is not None else (cid, pos))
+    if report["lost_acked"]:
+        report["zero_acked_loss"] = False
+        if image.mode != "async":
+            report["ok"] = False
+
+    # 3. State-replay equivalence.
+    if recovered is not None:
+        base = image.manifest.materialize()
+        expected_state: dict[tuple[str, str], dict[tuple, dict]] = {}
+        for reactor_name, tables in base.reactors.items():
+            for table_name, rows in tables.items():
+                schema = recovered.reactor(reactor_name) \
+                    .table(table_name).schema
+                bucket = expected_state.setdefault(
+                    (reactor_name, table_name), {})
+                for row in rows:
+                    bucket[schema.primary_key_of(row)] = dict(row)
+        replayable = []
+        for cid, records in image.logs.items():
+            watermark = base.tid_watermarks.get(cid, 0)
+            replayable.extend(r for r in records
+                              if r.commit_tid > watermark)
+        replayable.sort(key=lambda record: record.commit_tid)
+        for record in replayable:
+            for entry_ in record.entries:
+                bucket = expected_state.setdefault(
+                    (entry_.reactor, entry_.table), {})
+                if entry_.kind == "delete":
+                    bucket.pop(entry_.pk, None)
+                else:
+                    assert entry_.row is not None
+                    bucket[entry_.pk] = dict(entry_.row)
+        expected_state = {key: rows for key, rows
+                          in expected_state.items() if rows}
+        actual_state: dict[tuple[str, str], dict[tuple, dict]] = {}
+        for name in recovered.reactor_names():
+            for table in recovered.reactor(name).catalog:
+                rows = table.rows()
+                if not rows:
+                    continue
+                bucket = actual_state.setdefault((name, table.name), {})
+                for row in rows:
+                    bucket[table.schema.primary_key_of(row)] = row
+        report["state_ok"] = actual_state == expected_state
+        if not report["state_ok"]:
+            report["ok"] = False
+    return report
+
+
 def attach_recorder(database: Any) -> HistoryRecorder:
     """Enable history recording on a database.
 

@@ -289,6 +289,15 @@ class MigrationManager:
         # and under the multi-version engine the as-of read is exact
         # either way.
         watermark = src.concurrency.tids.last
+        # Durability barrier: force the source's open group-commit
+        # epoch down before its state leaves the container, so every
+        # commit below the copy watermark is durable at the source by
+        # the time the successor serves it (the copy itself is never
+        # logged — the watermark interplay the crash certificate and
+        # checkpoint truncation rely on).
+        durability = database.durability
+        if durability is not None:
+            durability.kick_flush(src.container_id)
         rows = 0
         records: list[RedoRecord] = []
         for table in reactor.catalog:

@@ -446,12 +446,15 @@ class ReplicationManager:
         # The applied prefix *is* the new primary's redo log — the
         # "replay" of promotion; state was materialized incrementally
         # as records arrived, the log seed re-anchors durability and
-        # the audit on the survivor.
+        # the audit on the survivor.  on_log_replaced re-registers the
+        # group-commit flush pipeline on the new log (the shared
+        # batched flush path) with the seeded prefix counted durable —
+        # the replica had materialized it.
         new_log = RedoLog(cid)
         new_log.records = list(target.applied_records)
         new_log.listener = self._listener_for(cid)
         target.concurrency.redo_log = new_log
-        self.durability.logs[cid] = new_log
+        self.durability.on_log_replaced(cid, new_log)
         self.shipped[cid] = list(target.applied_records)
         self.acked_tids[cid] = set(target.applied_tids)
 

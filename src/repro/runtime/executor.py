@@ -660,28 +660,55 @@ class TransactionExecutor:
         outcome = TwoPhaseCommit(participants).commit(
             self.scheduler.now)
         root.commit_tid = outcome.commit_tid
+        ack_delay = 0.0
         if outcome.committed and database.replication is not None:
             ack_delay = database.replication.on_commit_installed()
-            if ack_delay > 0.0:
-                # Sync replication: the client sees the commit only
-                # after every replica acked.  The executor core is
-                # released while waiting — another admitted task may
-                # run, exactly like a block on a remote future.
-                root.charge("commit_input_gen", ack_delay)
-                if self.running is task:
-                    self.running = None
-                    self._kick()
-                self.scheduler.after(ack_delay,
-                                     self._finish_replicated_commit,
-                                     task, result)
-                return
-        self._complete_root(task, outcome.committed, outcome.reason,
-                            result if outcome.committed else None)
+        flush_wait = None
+        if outcome.committed and database.durability is not None:
+            # Group/sync durability: the commit installed, but the
+            # client may only see it once its epoch's log flush lands.
+            flush_wait = database.durability.commit_ack_future(root)
+            if flush_wait is not None and flush_wait.resolved:
+                flush_wait = None
+        if ack_delay <= 0.0 and flush_wait is None:
+            self._complete_root(task, outcome.committed, outcome.reason,
+                                result if outcome.committed else None)
+            return
+        # Deferred completion: the client sees the commit only after
+        # every replica acked *and* the log flush landed.  The
+        # executor core is released while waiting — another admitted
+        # task may run, exactly like a block on a remote future.
+        if ack_delay > 0.0:
+            root.charge("commit_input_gen", ack_delay)
+        if self.running is task:
+            self.running = None
+            self._kick()
+        wait_start = self.scheduler.now
+        pending = {"n": (1 if ack_delay > 0.0 else 0)
+                   + (1 if flush_wait is not None else 0)}
 
-    def _finish_replicated_commit(self, task: Task, result: Any) -> None:
-        """Deferred completion of a sync-replicated commit.
+        def signal_done() -> None:
+            pending["n"] -= 1
+            if pending["n"] == 0:
+                self._finish_deferred_commit(task, result)
 
-        If a participant container died during the ack window, the
+        if ack_delay > 0.0:
+            self.scheduler.after(ack_delay, signal_done)
+        if flush_wait is not None:
+            def flush_done(fut: SimFuture) -> None:
+                # Charge only the flush wait beyond the replication
+                # ack window (the waits overlap on the wall clock).
+                extra = (self.scheduler.now - wait_start) - ack_delay
+                if extra > 0.0:
+                    root.charge("commit_input_gen", extra)
+                signal_done()
+            flush_wait.add_waiter(flush_done)
+
+    def _finish_deferred_commit(self, task: Task, result: Any) -> None:
+        """Deferred completion of a sync-replicated or group-commit
+        durable transaction.
+
+        If a participant container died during the wait window, the
         replication manager resolves the in-doubt outcome: when every
         failed participant's promoted successor holds this commit's
         record (the sync channel drain guarantees it once promotion
@@ -731,6 +758,15 @@ class TransactionExecutor:
         for reactor in root.reactor_refs:
             reactor.inflight_roots.discard(root.txn_id)
         database = self.container.database
+        if database.durability is not None:
+            # This is the acknowledgement instant: the set of commits
+            # clients saw is what crash certification holds recovery
+            # to (acked => durable for sync/group; async reports its
+            # loss window instead).
+            if committed:
+                database.durability.note_acked(root)
+            else:
+                database.durability.note_unacked(root)
         # Release the root's pinned snapshot (if any): the storage GC
         # watermark advances with the in-flight snapshot set, so the
         # next install can prune versions only this root could see.

@@ -71,6 +71,23 @@ class CostParameters:
     repl_apply_per_write: float = 0.12
     repl_ack_delay: float = 2.0
 
+    # Durability (repro.durability group commit): one log-device sync
+    # (``fsync_cost``, serialized per container — a container has one
+    # log disk), the group-commit epoch length, and the batch-size
+    # threshold that flushes an epoch early.  The interval and byte
+    # threshold are flush-*policy* knobs expressed in the cost set so
+    # deployments tune them alongside the prices they amortize; they
+    # are not CPU costs and are left out of :meth:`scaled`.
+    fsync_cost: float = 30.0
+    flush_interval_us: float = 50.0
+    flush_batch_bytes: int = 32768
+
+    # Crash recovery (repro.durability.partitioned): per-row checkpoint
+    # load and per-redo-entry replay prices, so recovery time is a
+    # measurable virtual-time quantity in the bench harness.
+    recovery_load_per_row: float = 0.4
+    recovery_replay_per_entry: float = 0.25
+
     # Online reactor migration (repro.migration): fixed setup cost of a
     # state copy, per-copied-row snapshot+install cost, the atomic
     # routing flip, and the per-transaction dispatch cost of replaying
@@ -94,8 +111,10 @@ class CostParameters:
 
         Used to derive slower-clock machine profiles from a reference
         profile.  The scaling applies to every cost except
-        ``cold_access_factor`` (a ratio) and ``rand_cost`` consumers can
-        scale separately.
+        ``cold_access_factor`` (a ratio), the flush-policy knobs
+        ``flush_interval_us`` / ``flush_batch_bytes`` (cadence choices,
+        not CPU costs), and ``rand_cost`` consumers can scale
+        separately.
         """
         fields = {
             name: getattr(self, name) * factor
@@ -107,8 +126,9 @@ class CostParameters:
                 "occ_install_per_write", "occ_commit_base",
                 "tpc_prepare_per_container", "abort_cost", "rand_cost",
                 "repl_ship_delay", "repl_apply_per_write",
-                "repl_ack_delay", "mig_copy_base", "mig_copy_per_row",
-                "mig_flip_cost", "mig_replay_per_txn",
+                "repl_ack_delay", "fsync_cost", "recovery_load_per_row",
+                "recovery_replay_per_entry", "mig_copy_base",
+                "mig_copy_per_row", "mig_flip_cost", "mig_replay_per_txn",
             )
         }
         return replace(self, **fields)

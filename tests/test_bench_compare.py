@@ -1,0 +1,173 @@
+"""The CI perf-regression gate (tools/bench_compare.py)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+SPEC = importlib.util.spec_from_file_location(
+    "bench_compare",
+    Path(__file__).parent.parent / "tools" / "bench_compare.py")
+bench_compare = importlib.util.module_from_spec(SPEC)
+SPEC.loader.exec_module(bench_compare)
+
+
+def payload(tput_a=100.0, tput_b=200.0, extra_run=None):
+    runs = [
+        {"workload": "smallbank", "mode": "sync", "skew": 0.0,
+         "throughput_tps": tput_a, "latency_us": 50.0,
+         "p99_us": 80.0, "abort_rate": 0.01, "committed": 10,
+         "fsyncs": 10},
+        {"workload": "smallbank", "mode": "group", "skew": 0.0,
+         "throughput_tps": tput_b, "latency_us": 30.0,
+         "p99_us": 60.0, "abort_rate": 0.01, "committed": 20,
+         "fsyncs": 2},
+    ]
+    if extra_run is not None:
+        runs.append(extra_run)
+    return {"runs": runs, "meta": {"benchmark": "x"}}
+
+
+def write(dirpath, name, data):
+    dirpath.mkdir(parents=True, exist_ok=True)
+    (dirpath / f"BENCH_{name}.json").write_text(json.dumps(data))
+
+
+@pytest.fixture
+def dirs(tmp_path):
+    return tmp_path / "baselines", tmp_path / "current"
+
+
+def run_gate(dirs, names=("demo",), tolerance=0.20):
+    baseline, current = dirs
+    return bench_compare.main([
+        *names,
+        "--baseline-dir", str(baseline),
+        "--current-dir", str(current),
+        "--tolerance", str(tolerance),
+    ])
+
+
+class TestRowIdentity:
+    def test_key_uses_only_configuration_axes(self):
+        run = payload()["runs"][0]
+        key = bench_compare.row_key(run)
+        assert "workload=smallbank" in key
+        assert "mode=sync" in key
+        assert "skew=0.0" in key
+        # Outputs (throughput, fsync counters) never leak into the
+        # identity — they move with every measurement.
+        assert "throughput" not in key
+        assert "fsyncs" not in key
+
+    def test_counter_drift_does_not_vanish_rows(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        drifted = payload()
+        drifted["runs"][0]["fsyncs"] = 999
+        drifted["runs"][0]["committed"] = 999
+        write(current, "demo", drifted)
+        assert run_gate(dirs) == 0
+
+
+class TestGate:
+    def test_identical_results_pass(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload())
+        assert run_gate(dirs) == 0
+
+    def test_within_band_regression_passes(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload(tput_a=85.0))  # -15%
+        assert run_gate(dirs) == 0
+
+    def test_out_of_band_regression_fails(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload(tput_a=70.0))  # -30%
+        assert run_gate(dirs) == 1
+
+    def test_tolerance_is_configurable(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload(tput_a=70.0))
+        assert run_gate(dirs, tolerance=0.5) == 0
+
+    def test_improvement_passes(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload(tput_a=500.0))
+        assert run_gate(dirs) == 0
+
+    def test_latency_is_report_only(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        worse = payload()
+        for run in worse["runs"]:
+            run["latency_us"] *= 10
+        write(current, "demo", worse)
+        assert run_gate(dirs) == 0
+
+    def test_missing_baseline_row_fails(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload(extra_run={
+            "workload": "tpcc", "mode": "sync",
+            "throughput_tps": 10.0}))
+        write(current, "demo", payload())
+        assert run_gate(dirs) == 1
+
+    def test_new_row_is_tolerated(self, dirs):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload(extra_run={
+            "workload": "tpcc", "mode": "sync",
+            "throughput_tps": 10.0}))
+        assert run_gate(dirs) == 0
+
+    def test_missing_baseline_file_fails(self, dirs):
+        __, current = dirs
+        write(current, "demo", payload())
+        assert run_gate(dirs) == 1
+
+    def test_missing_current_file_fails(self, dirs):
+        baseline, __ = dirs
+        write(baseline, "demo", payload())
+        assert run_gate(dirs) == 1
+
+
+class TestUpdateAndSummary:
+    def test_update_copies_current_over_baselines(self, dirs):
+        baseline, current = dirs
+        write(current, "demo", payload())
+        assert bench_compare.main([
+            "demo", "--update",
+            "--baseline-dir", str(baseline),
+            "--current-dir", str(current)]) == 0
+        assert json.loads(
+            (baseline / "BENCH_demo.json").read_text()) == payload()
+
+    def test_github_step_summary_written(self, dirs, tmp_path,
+                                         monkeypatch):
+        baseline, current = dirs
+        write(baseline, "demo", payload())
+        write(current, "demo", payload())
+        summary = tmp_path / "summary.md"
+        monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+        assert run_gate(dirs) == 0
+        assert "Bench regression gate" in summary.read_text()
+
+    def test_repo_baselines_exist_for_ci_matrix(self):
+        """The four benches the CI gate runs all have committed
+        baselines."""
+        for name in ("ablation_replication", "ablation_migration",
+                     "ablation_mvcc", "ablation_durability"):
+            path = bench_compare.DEFAULT_BASELINE / \
+                f"BENCH_{name}.json"
+            assert path.exists(), path
+            data = json.loads(path.read_text())
+            assert data.get("runs"), name
+            assert data["meta"]["config"].get("tiny") is True, \
+                f"{name} baseline must be a --tiny run"

@@ -24,6 +24,8 @@ def test_quickstart():
 
 def test_crash_recovery():
     out = run_example("crash_recovery.py")
+    assert "CRASH — mid-epoch" in out
+    assert "certificate: ok" in out
     assert "recovered database accepts new transactions" in out
 
 

@@ -1,0 +1,217 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate over the machine-readable bench outputs.
+
+Compares fresh ``BENCH_<name>.json`` files (written by the ablation
+benchmarks' ``--tiny --json`` runs) against committed baselines in
+``benchmarks/results/baselines/``.  Every run row inside a payload's
+``runs`` list is keyed by its identifying fields (workload, mode,
+scheme, skew, ...) and its metrics are diffed against the baseline row
+with the same key:
+
+* ``throughput_tps`` is the *gate*: a drop of more than ``--tolerance``
+  (default 20%) fails the job.  The simulation is deterministic, so on
+  unchanged code the delta is exactly 0 — the band absorbs intentional
+  re-pricings, not noise.
+* ``latency_us`` / ``p99_us`` / ``abort_rate`` are reported for
+  context, never gated.
+* a baseline key missing from the current output fails too (coverage
+  must not silently shrink); new keys are reported as additions.
+
+The per-bench delta table is printed and, when ``GITHUB_STEP_SUMMARY``
+is set, appended to the CI job summary as markdown.
+
+Usage::
+
+    python tools/bench_compare.py ablation_replication \
+        ablation_migration ablation_mvcc ablation_durability
+    python tools/bench_compare.py --update ...   # refresh baselines
+
+Exit status: 0 when every gate holds, 1 on any regression or missing
+baseline/row.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+DEFAULT_CURRENT = REPO / "benchmarks" / "results"
+DEFAULT_BASELINE = DEFAULT_CURRENT / "baselines"
+
+#: Fields that *identify* a run row (configuration axes).  Everything
+#: else is an output — counters move with the measurement and must
+#: never leak into the key, or an in-band change would read as a
+#: vanished baseline.
+ID_KEYS = (
+    "workload", "mode", "scheme", "cc_scheme", "skew", "placement",
+    "read_from_replicas", "flush_interval_us", "checkpoint_every",
+    "phase", "label", "variant",
+)
+#: Gated metric (lower is worse).
+GATE_METRIC = "throughput_tps"
+#: Context metrics shown in the table.
+REPORT_METRICS = ("latency_us", "p99_us", "abort_rate")
+
+
+def row_key(run: dict) -> str:
+    """A stable identity for one run row: its configuration axes."""
+    parts = []
+    for key in ID_KEYS:
+        if key in run:
+            parts.append(f"{key}={run[key]}")
+    return " ".join(parts)
+
+
+def rows_of(payload: dict) -> dict[str, dict]:
+    out: dict[str, dict] = {}
+    for run in payload.get("runs", []):
+        out[row_key(run)] = run
+    return out
+
+
+def load_payload(path: Path) -> dict:
+    with path.open() as handle:
+        return json.load(handle)
+
+
+def pct(delta: float, base: float) -> str:
+    if base == 0:
+        return "n/a"
+    return f"{delta / base * +100:+.1f}%"
+
+
+def compare_bench(name: str, baseline_dir: Path, current_dir: Path,
+                  tolerance: float) -> tuple[list[str], list[str]]:
+    """Returns (markdown table lines, failure messages)."""
+    lines: list[str] = []
+    failures: list[str] = []
+    base_path = baseline_dir / f"BENCH_{name}.json"
+    cur_path = current_dir / f"BENCH_{name}.json"
+    if not base_path.exists():
+        failures.append(f"{name}: no committed baseline at "
+                        f"{base_path}")
+        return lines, failures
+    if not cur_path.exists():
+        failures.append(f"{name}: benchmark produced no {cur_path}")
+        return lines, failures
+    base_rows = rows_of(load_payload(base_path))
+    cur_rows = rows_of(load_payload(cur_path))
+
+    lines.append(f"### {name}")
+    lines.append("")
+    lines.append("| run | tput base | tput now | Δ | "
+                 + " | ".join(REPORT_METRICS) + " | verdict |")
+    lines.append("|---|---|---|---|"
+                 + "---|" * len(REPORT_METRICS) + "---|")
+    for key in sorted(base_rows):
+        base = base_rows[key]
+        cur = cur_rows.get(key)
+        if cur is None:
+            failures.append(f"{name}: baseline run vanished: {key}")
+            lines.append(f"| `{key}` | {base.get(GATE_METRIC)} | "
+                         f"MISSING | | "
+                         + " | ".join("" for __ in REPORT_METRICS)
+                         + " | :x: missing |")
+            continue
+        base_tput = float(base.get(GATE_METRIC, 0.0))
+        cur_tput = float(cur.get(GATE_METRIC, 0.0))
+        delta = cur_tput - base_tput
+        regressed = base_tput > 0 and \
+            cur_tput < base_tput * (1.0 - tolerance)
+        if regressed:
+            failures.append(
+                f"{name}: {GATE_METRIC} regressed "
+                f"{pct(delta, base_tput)} (> {tolerance:.0%} band) "
+                f"on: {key}")
+        context = []
+        for metric in REPORT_METRICS:
+            b, c = base.get(metric), cur.get(metric)
+            if b is None or c is None:
+                context.append("")
+            else:
+                context.append(f"{c} ({pct(c - b, b or 1)})")
+        verdict = ":x: regressed" if regressed else ":white_check_mark:"
+        lines.append(
+            f"| `{key}` | {base_tput:.1f} | {cur_tput:.1f} | "
+            f"{pct(delta, base_tput)} | " + " | ".join(context)
+            + f" | {verdict} |")
+    for key in sorted(set(cur_rows) - set(base_rows)):
+        lines.append(f"| `{key}` | — | "
+                     f"{cur_rows[key].get(GATE_METRIC)} | new | "
+                     + " | ".join("" for __ in REPORT_METRICS)
+                     + " | :new: |")
+    lines.append("")
+    return lines, failures
+
+
+def update_baselines(names: list[str], baseline_dir: Path,
+                     current_dir: Path) -> None:
+    baseline_dir.mkdir(parents=True, exist_ok=True)
+    for name in names:
+        src = current_dir / f"BENCH_{name}.json"
+        if not src.exists():
+            raise SystemExit(f"cannot update baseline: {src} missing "
+                             f"(run the benchmark with --tiny --json "
+                             f"first)")
+        shutil.copy2(src, baseline_dir / src.name)
+        print(f"baseline updated: {baseline_dir / src.name}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="+",
+                        help="bench names (BENCH_<name>.json)")
+    parser.add_argument("--baseline-dir", type=Path,
+                        default=DEFAULT_BASELINE)
+    parser.add_argument("--current-dir", type=Path,
+                        default=DEFAULT_CURRENT)
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed fractional throughput drop "
+                             "(default 0.20)")
+    parser.add_argument("--update", action="store_true",
+                        help="copy current results over the "
+                             "baselines instead of comparing")
+    args = parser.parse_args(argv)
+
+    if args.update:
+        update_baselines(args.names, args.baseline_dir,
+                         args.current_dir)
+        return 0
+
+    all_lines = ["## Bench regression gate", ""]
+    all_failures: list[str] = []
+    for name in args.names:
+        lines, failures = compare_bench(
+            name, args.baseline_dir, args.current_dir, args.tolerance)
+        all_lines.extend(lines)
+        all_failures.extend(failures)
+
+    if all_failures:
+        all_lines.append("**FAILED:**")
+        all_lines.extend(f"- {f}" for f in all_failures)
+    else:
+        all_lines.append(
+            f"All gated metrics within the "
+            f"{args.tolerance:.0%} band.")
+    report = "\n".join(all_lines)
+    print(report)
+
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a") as handle:
+            handle.write(report + "\n")
+
+    if all_failures:
+        for failure in all_failures:
+            print(f"::error::{failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
