@@ -47,6 +47,7 @@ from repro.errors import (
     DeploymentError,
     DuplicateKeyError,
     QueryError,
+    ReactorError,
     ReadOnlyViolation,
     RecordNotFound,
 )
@@ -61,6 +62,45 @@ Row = dict[str, Any]
 INSERT = "insert"
 UPDATE = "update"
 DELETE = "delete"
+
+#: Lazily-cached :class:`repro.durability.wal.RedoEntry` (the import is
+#: deferred — durability imports this module — but resolved once, not
+#: once per installed write).
+_RedoEntry: type | None = None
+
+
+def make_redo_entry(intent: "WriteIntent", commit_tid: int) -> Any:
+    """The redo-log record for one installed write intent.
+
+    Shared by the per-session install path below and the epoch-batched
+    engine in :mod:`repro.concurrency.batch` so both emit byte-identical
+    log entries.  ``commit_tid`` is unused today (the log keys entries
+    by TID at append time) but keeps the call shape stable.
+    """
+    global _RedoEntry
+    entry_cls = _RedoEntry
+    if entry_cls is None:
+        from repro.durability.wal import RedoEntry
+        entry_cls = _RedoEntry = RedoEntry
+    new_value = intent.new_value
+    return entry_cls(
+        reactor=intent.table.owner or "",
+        table=intent.table.name,
+        kind=intent.kind,
+        pk=intent.pk,
+        row=dict(new_value) if new_value is not None else None,
+    )
+
+
+def _intent_order_key(intent: "WriteIntent") -> tuple[str, str]:
+    """Deterministic global lock order for write intents.
+
+    ``repr(pk)`` (not the raw tuple) keeps heterogeneous key types
+    comparable *and* is what every committed history was produced
+    under — changing it would reorder lock acquisition and break
+    byte-identical replay.
+    """
+    return (intent.table.name, repr(intent.pk))
 
 
 def require_hash_equality(index_name: str, low: tuple | None,
@@ -112,7 +152,12 @@ class ScanResult:
         return len(self.rows)
 
 
-@dataclass
+#: Sentinel ``out_order``: the scan's candidate walk already visits
+#: records in result order (see :meth:`CCSession._collect_candidates`).
+_CANDIDATE_ORDER = object()
+
+
+@dataclass(slots=True)
 class CCStats:
     """Shared per-container counters, one set per scheme instance.
 
@@ -164,6 +209,10 @@ class CCSession:
     installation and abort.
     """
 
+    __slots__ = ("txn_id", "container_id", "owner", "_reads",
+                 "_writes", "_node_checks", "_locked", "_placeholders",
+                 "finished", "_sorted_intents")
+
     def __init__(self, txn_id: int, container_id: int) -> None:
         self.txn_id = txn_id
         self.container_id = container_id
@@ -172,8 +221,9 @@ class CCSession:
         #: for transaction-wide state shared across that root's
         #: per-container sessions — e.g. 2PL wound propagation.
         self.owner: Any = None
-        # id(record) -> (record, tid seen at first read)
-        self._reads: dict[int, tuple[VersionedRecord, int]] = {}
+        # record -> tid seen at first read (records hash by identity,
+        # so this is the id(record)-keyed map without the id() calls)
+        self._reads: dict[VersionedRecord, int] = {}
         # (id(table), pk) -> WriteIntent
         self._writes: dict[tuple[int, tuple], WriteIntent] = {}
         # (object with .structure_version, version seen) — phantom guard
@@ -183,6 +233,11 @@ class CCSession:
         #: reclaimed on abort unless revived by a committed insert.
         self._placeholders: list[tuple[Table, VersionedRecord]] = []
         self.finished = False
+        #: Memoized :meth:`sorted_intents` result; validation and
+        #: installation both walk the ordered write set, and the sort
+        #: only has to happen once per commit.  Invalidated whenever
+        #: the write set changes.
+        self._sorted_intents: list[WriteIntent] | None = None
 
     # ------------------------------------------------------------------
     # Scheme hooks
@@ -211,9 +266,8 @@ class CCSession:
 
     def _register_read(self, record: VersionedRecord) -> None:
         """A committed record joined the read footprint."""
-        key = id(record)
-        if key not in self._reads:
-            self._reads[key] = (record, record.tid)
+        if record not in self._reads:
+            self._reads[record] = record.tid
 
     def _register_node(self, node: Any) -> None:
         """A table/index structure joined the read footprint (scan or
@@ -225,6 +279,7 @@ class CCSession:
     def _set_intent(self, intent: WriteIntent) -> None:
         """A write joined (or replaced an entry of) the write set."""
         self._writes[(id(intent.table), intent.pk)] = intent
+        self._sorted_intents = None
 
     # ------------------------------------------------------------------
     # Bookkeeping helpers
@@ -254,6 +309,7 @@ class CCSession:
 
     def _drop_intent(self, table: Table, pk: tuple) -> None:
         self._writes.pop((id(table), pk), None)
+        self._sorted_intents = None
 
     # ------------------------------------------------------------------
     # Transactional data operations (the record manager interface)
@@ -262,20 +318,76 @@ class CCSession:
     def read(self, table: Table, pk: tuple) -> tuple[Row | None, int]:
         """Point read by primary key; returns (row or None, examined)."""
         self._begin_op()
-        intent = self._intent_for(table, pk)
+        intent = self._writes.get((id(table), pk))
         if intent is not None:
             if intent.kind == DELETE:
                 return None, 1
             assert intent.new_value is not None
             return dict(intent.new_value), 1
-        record = table.get_record(pk)
+        record = table.store.get(pk)
         if record is None:
             # A miss is also a predicate read: guard against a phantom
             # insert of this key by validating the table structure.
             self._register_node(table)
             return None, 1
         self._register_read(record)
-        return record.snapshot(), 1
+        return dict(record.value), 1
+
+    def multi_read(self, table: Table,
+                   pks: Iterable[tuple]) -> tuple[list[Row | None], int]:
+        """Vectorized point reads: one overlay/version walk per batch.
+
+        Semantically identical to ``[read(table, pk) for pk in pks]``
+        — same footprint registration (scheme hooks included), same
+        overlay visibility, same examined count — but with method
+        lookups hoisted out of the loop and results preallocated.
+        Returns ``(rows aligned with pks, examined)``; missing keys
+        yield ``None`` in place.
+        """
+        self._begin_op()
+        pks = list(pks)
+        out: list[Row | None] = [None] * len(pks)
+        writes = self._writes
+        table_id = id(table)
+        recmap = table.store.record_map()
+        get_record = table.store.get if recmap is None else recmap.get
+        register_read = self._register_read
+        # Footprint registration inlined when the scheme uses the base
+        # implementation (OCC/MVCC); locking schemes hook per-read lock
+        # acquisition into _register_read and keep the dispatch.
+        reads = self._reads \
+            if type(self)._register_read is CCSession._register_read \
+            else None
+        if writes:
+            for i, pk in enumerate(pks):
+                intent = writes.get((table_id, pk))
+                if intent is not None:
+                    if intent.kind != DELETE:
+                        out[i] = dict(intent.new_value or {})
+                    continue
+                record = get_record(pk)
+                if record is None or record.deleted:
+                    self._register_node(table)
+                elif reads is not None:
+                    if record not in reads:
+                        reads[record] = record.tid
+                    out[i] = dict(record.value)
+                else:
+                    register_read(record)
+                    out[i] = dict(record.value)
+        else:
+            for i, pk in enumerate(pks):
+                record = get_record(pk)
+                if record is None or record.deleted:
+                    self._register_node(table)
+                elif reads is not None:
+                    if record not in reads:
+                        reads[record] = record.tid
+                    out[i] = dict(record.value)
+                else:
+                    register_read(record)
+                    out[i] = dict(record.value)
+        return out, len(pks)
 
     def insert(self, table: Table, row: Mapping[str, Any]) -> int:
         """Buffer an insert; duplicate keys visible to this transaction
@@ -303,28 +415,42 @@ class CCSession:
 
     def update(self, table: Table, pk: tuple,
                assignments: Mapping[str, Any]) -> tuple[Row, int]:
-        """Read-modify-write one row; returns (new image, examined)."""
+        """Read-modify-write one row; returns (new image, examined).
+
+        The read is inlined (copy-free intent merging): the overlay or
+        committed image is copied exactly once into the new intent
+        instead of read() copying it and the merge copying it again.
+        The footprint registered is identical to read-then-write.
+        """
         self._begin_op()
         self._check_writable()
         table.schema.validate_assignments(assignments)
-        current, examined = self.read(table, pk)
-        if current is None:
+        intent = self._writes.get((id(table), pk))
+        if intent is not None:
+            if intent.kind == DELETE:
+                raise RecordNotFound(
+                    f"update of missing key {pk!r} in {table.name!r}"
+                )
+            # Merge into the existing insert/update intent.
+            assert intent.new_value is not None
+            new_value = dict(intent.new_value)
+            new_value.update(assignments)
+            self._set_intent(WriteIntent(
+                intent.kind, table, pk, intent.record, new_value))
+            return new_value, 1
+        record = table.get_record(pk)
+        if record is None:
+            # Same phantom guard a read miss registers.
+            self._register_node(table)
             raise RecordNotFound(
                 f"update of missing key {pk!r} in {table.name!r}"
             )
-        new_value = dict(current)
+        self._register_read(record)
+        new_value = dict(record.value)
         new_value.update(assignments)
-        intent = self._intent_for(table, pk)
-        if intent is not None:
-            # Merge into the existing insert/update intent.
-            self._set_intent(WriteIntent(
-                intent.kind, table, pk, intent.record, new_value))
-        else:
-            record = table.get_record(pk)
-            assert record is not None  # read() above registered it
-            self._set_intent(WriteIntent(
-                UPDATE, table, pk, record, new_value))
-        return new_value, examined
+        self._set_intent(WriteIntent(
+            UPDATE, table, pk, record, new_value))
+        return new_value, 1
 
     def delete(self, table: Table, pk: tuple) -> int:
         """Buffer a delete; returns records examined."""
@@ -364,28 +490,82 @@ class CCSession:
         structure lock for 2PL).
         """
         self._begin_op()
-        candidates, sort_keys, examined = self._collect_candidates(
-            table, predicate, index, low, high)
-        rows: list[tuple[Any, Row]] = []
-        for record in candidates:
-            intent = self._intent_for(table, record.key)
-            if intent is not None:
-                if intent.kind == DELETE:
-                    continue
-                image: Row | None = dict(intent.new_value or {})
+        candidates, sort_keys, examined, out_order = \
+            self._collect_candidates(table, predicate, index, low, high)
+        writes = self._writes
+        register_read = self._register_read
+        matches = predicate.matches
+        # Footprint registration inlined when the scheme uses the base
+        # implementation (OCC/MVCC); locking schemes hook per-read lock
+        # acquisition into _register_read and keep the dispatch.
+        reads = self._reads \
+            if type(self)._register_read is CCSession._register_read \
+            else None
+        if not writes and out_order is not None:
+            # The result order is already known without computing a
+            # per-row sort key: committed images agree with their
+            # index entries, so an ordered-index range's (key, pk)
+            # entry order IS the sort order, and a full scan's
+            # pk-sorted candidates are theirs.  Candidate order — and
+            # with it the read footprint's registration order — is
+            # untouched.
+            if out_order is _CANDIDATE_ORDER:
+                out = []
+                append = out.append
+                for record in candidates:
+                    if reads is not None:
+                        if record not in reads:
+                            reads[record] = record.tid
+                    else:
+                        register_read(record)
+                    image = dict(record.value)
+                    if matches(image):
+                        append(image)
             else:
-                self._register_read(record)
-                image = record.snapshot()
-            if image is not None and predicate.matches(image):
-                rows.append((sort_keys(image, record.key), image))
-        # Own inserts join the result set.
-        for intent in list(self._writes.values()):
-            if intent.table is table and intent.kind == INSERT:
-                image = dict(intent.new_value or {})
-                if predicate.matches(image) and self._in_range(
-                        table, index, image, low, high):
-                    rows.append((sort_keys(image, intent.pk), image))
-                    examined += 1
+                images: dict[tuple, Row] = {}
+                for record in candidates:
+                    if reads is not None:
+                        if record not in reads:
+                            reads[record] = record.tid
+                    else:
+                        register_read(record)
+                    image = dict(record.value)
+                    if matches(image):
+                        images[record.key] = image
+                out = [images[pk] for pk in out_order if pk in images]
+            if reverse:
+                out.reverse()
+            if limit is not None:
+                out = out[:limit]
+            return ScanResult(out, examined)
+        rows: list[tuple[Any, Row]] = []
+        table_id = id(table)
+        if writes:
+            for record in candidates:
+                intent = writes.get((table_id, record.key))
+                if intent is not None:
+                    if intent.kind == DELETE:
+                        continue
+                    image: Row | None = dict(intent.new_value or {})
+                else:
+                    register_read(record)
+                    image = dict(record.value)
+                if image is not None and matches(image):
+                    rows.append((sort_keys(image, record.key), image))
+            # Own inserts join the result set.
+            for intent in list(writes.values()):
+                if intent.table is table and intent.kind == INSERT:
+                    image = dict(intent.new_value or {})
+                    if matches(image) and self._in_range(
+                            table, index, image, low, high):
+                        rows.append((sort_keys(image, intent.pk), image))
+                        examined += 1
+        else:
+            for record in candidates:
+                register_read(record)
+                image = dict(record.value)
+                if matches(image):
+                    rows.append((sort_keys(image, record.key), image))
         rows.sort(key=lambda pair: pair[0], reverse=reverse)
         out = [row for __, row in rows]
         if limit is not None:
@@ -395,22 +575,34 @@ class CCSession:
     def _collect_candidates(self, table: Table, predicate: Predicate,
                             index: str | None, low: tuple | None,
                             high: tuple | None):
-        """Pick an access path; returns (records, sort_key_fn, examined)."""
+        """Pick an access path; returns ``(records, sort_key_fn,
+        examined, out_order)``.
+
+        ``out_order`` is the precomputed result order for the
+        no-writes fast path: :data:`_CANDIDATE_ORDER` when the
+        candidates already arrive in result order (full scans are
+        pk-sorted), a pk list in result order (ordered-index ranges:
+        the (key, pk)-sorted entry walk), or ``None`` when only the
+        per-row sort keys can decide (hash buckets are unordered)."""
         if index is not None:
             idx = table.index(index)
             self._register_node(idx)
             if isinstance(idx, OrderedIndex):
                 pks = list(idx.range(low, high))
+                out_order = pks
             else:
                 require_hash_equality(index, low, high)
+                # Exact-key candidates share one index key, so the
+                # pk-sorted record walk is already the result order.
                 pks = list(idx.lookup(low))
-            records = list(table.records_for_pks(pks))
+                out_order = _CANDIDATE_ORDER
+            records = table.records_for_pks(pks)
             columns = idx.spec.columns
 
             def sort_key(image: Row, pk: tuple):
                 return (tuple(image.get(c) for c in columns), pk)
 
-            return records, sort_key, len(records)
+            return records, sort_key, len(records), out_order
 
         bindings = predicate.equality_bindings()
         for idx in table.indexes.values():
@@ -418,12 +610,14 @@ class CCSession:
                     c in bindings for c in idx.spec.columns):
                 self._register_node(idx)
                 key = tuple(bindings[c] for c in idx.spec.columns)
-                records = list(table.records_for_pks(idx.lookup(key)))
-                return records, (lambda image, pk: pk), len(records)
+                records = table.records_for_pks(idx.lookup(key))
+                return records, (lambda image, pk: pk), len(records), \
+                    _CANDIDATE_ORDER
 
         self._register_node(table)
         records = list(table.iter_records())
-        return records, (lambda image, pk: pk), len(records)
+        return records, (lambda image, pk: pk), len(records), \
+            _CANDIDATE_ORDER
 
     @staticmethod
     def _in_range(table: Table, index: str | None, image: Row,
@@ -444,14 +638,20 @@ class CCSession:
     # ------------------------------------------------------------------
 
     def sorted_intents(self) -> list[WriteIntent]:
-        """Write intents in deterministic global lock order."""
-        return sorted(
-            self._writes.values(),
-            key=lambda w: (w.table.name, repr(w.pk)),
-        )
+        """Write intents in deterministic global lock order.
+
+        Memoized: validation locks and installation both walk this
+        list, and commit runs them back-to-back on an unchanged write
+        set.  Any write-set mutation invalidates the cache.
+        """
+        cached = self._sorted_intents
+        if cached is None:
+            cached = self._sorted_intents = sorted(
+                self._writes.values(), key=_intent_order_key)
+        return cached
 
     def read_entries(self) -> Iterable[tuple[VersionedRecord, int]]:
-        return self._reads.values()
+        return self._reads.items()
 
     def node_entries(self) -> Iterable[tuple[Any, int]]:
         return self._node_checks.values()
@@ -485,11 +685,12 @@ class CCSession:
         self._locked.clear()
 
     def max_observed_tid(self) -> int:
-        tids = [tid for __, tid in self._reads.values()]
+        best = max(self._reads.values(), default=0)
         for intent in self._writes.values():
-            if intent.record is not None:
-                tids.append(intent.record.tid)
-        return max(tids, default=0)
+            record = intent.record
+            if record is not None and record.tid > best:
+                best = record.tid
+        return best
 
 
 class ConcurrencyControl:
@@ -504,6 +705,8 @@ class ConcurrencyControl:
 
     #: Registry name of the scheme (set by subclasses).
     scheme = "abstract"
+
+    __slots__ = ("container_id", "tids", "stats", "redo_log", "failed")
 
     def __init__(self, container_id: int, epochs: EpochManager) -> None:
         self.container_id = container_id
@@ -572,24 +775,21 @@ class ConcurrencyControl:
     def install(self, session: CCSession, commit_tid: int) -> int:
         """Phase-2 write installation; returns number of writes."""
         count = 0
-        log_entries = []
-        for intent in session.sorted_intents():
-            if not self._install_intent(intent, commit_tid):
-                continue
-            count += 1
-            if self.redo_log is not None:
-                from repro.durability.wal import RedoEntry
-
-                log_entries.append(RedoEntry(
-                    reactor=intent.table.owner or "",
-                    table=intent.table.name,
-                    kind=intent.kind,
-                    pk=intent.pk,
-                    row=dict(intent.new_value)
-                    if intent.new_value is not None else None,
-                ))
-        if self.redo_log is not None and log_entries:
-            self.redo_log.append(commit_tid, log_entries)
+        install_intent = self._install_intent
+        redo_log = self.redo_log
+        if redo_log is None:
+            for intent in session.sorted_intents():
+                if install_intent(intent, commit_tid):
+                    count += 1
+        else:
+            log_entries = []
+            for intent in session.sorted_intents():
+                if not install_intent(intent, commit_tid):
+                    continue
+                count += 1
+                log_entries.append(make_redo_entry(intent, commit_tid))
+            if log_entries:
+                redo_log.append(commit_tid, log_entries)
         session.release_locks()
         # Installed inserts revived their placeholders; any left over
         # belong to cancelled insert+delete pairs.
@@ -653,6 +853,8 @@ class PassthroughCC(ConcurrencyControl):
 
     scheme = "none"
 
+    __slots__ = ()
+
     def begin_session(self, txn_id: int) -> CCSession:
         return CCSession(txn_id, self.container_id)
 
@@ -669,8 +871,6 @@ class PassthroughCC(ConcurrencyControl):
         same insert key); the loser's write is dropped rather than
         crashing the run — exactly the kind of anomaly the ablation
         exists to expose."""
-        from repro.errors import ReactorError
-
         try:
             return super()._install_intent(intent, commit_tid)
         except ReactorError:

@@ -1,0 +1,162 @@
+"""Epoch-batched commit engine: validate/install one closed epoch flat.
+
+When a root transaction reaches its commit point, the set of
+per-container sessions it closes is final — nothing can join it, and
+nothing inside it changes between validation and installation.  That
+closed set is a *commit epoch*, the direct analogue of the group-commit
+:class:`~repro.durability.group_commit.FlushEpoch` on the durability
+side: a sealed batch that one engine walks in flattened loops, instead
+of each participant re-resolving its own method chain, re-sorting its
+own intents, and re-deciding redo-batching per write.
+
+:class:`CommitEpoch` replaces the per-participant churn of the
+reference coordinator path with:
+
+* a **single-participant fast path** (the overwhelmingly common case)
+  that skips participant sorting, membership bookkeeping, and the
+  generator-based commit-TID max;
+* one flattened validate loop over the ordered participants, with the
+  per-scheme ``validate`` hook untouched (OCC locks and checks, 2PL
+  re-checks wounds, passthrough counts) so every scheme's semantics
+  and stats are byte-identical;
+* one flattened install loop that walks each session's *cached*
+  :meth:`~repro.concurrency.base.CCSession.sorted_intents` (validation
+  already sorted them), applies intents via the scheme's
+  ``_install_intent`` hook, and batches redo-log entries through the
+  shared :func:`~repro.concurrency.base.make_redo_entry` — managers
+  that override ``install`` itself (custom schemes) fall back to their
+  override.
+
+Equivalence is the contract: for any fixed seed, the batched engine
+produces the same validation order, the same aborts, the same commit
+TIDs, the same redo log, and the same certified histories as the
+reference path.  ``tests/test_hotpath_equivalence.py`` asserts this
+under every registered scheme; the reference path stays available via
+:func:`set_batched` or ``REPRO_HOTPATH=reference`` for those tests and
+for bisecting any future divergence.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.concurrency.base import CCSession, ConcurrencyControl
+from repro.errors import CCAbort
+
+Participant = tuple[ConcurrencyControl, CCSession]
+
+#: The scheme-independent install, for detecting overrides: only
+#: managers using the generic phase-2 take the flattened loop.
+_GENERIC_INSTALL = ConcurrencyControl.install
+
+_BATCHED = os.environ.get("REPRO_HOTPATH", "batched") != "reference"
+
+
+def batched_enabled() -> bool:
+    """Is the epoch-batched commit path active?"""
+    return _BATCHED
+
+
+def set_batched(flag: bool) -> None:
+    """Toggle the batched engine (``False`` = reference path).
+
+    The reference path exists for equivalence testing and bisection;
+    both paths must produce identical histories for identical seeds.
+    """
+    global _BATCHED
+    _BATCHED = bool(flag)
+
+
+class CommitEpoch:
+    """One root transaction's closed set of commit participants.
+
+    ``participants`` must already be ordered by container id — the
+    deterministic global validation order that avoids distributed
+    deadlock (``RootTransaction.participants()`` guarantees it; manual
+    callers sort first).
+    """
+
+    __slots__ = ("participants",)
+
+    def __init__(self, participants: list[Participant]) -> None:
+        self.participants = participants
+
+    def run(self, now_us: float) -> tuple[int, int]:
+        """Validate and install the whole epoch; returns
+        ``(commit_tid, writes_installed)``.
+
+        On a validation conflict every participant is rolled back (in
+        participant order, matching the reference path) and the
+        :class:`~repro.errors.CCAbort` propagates to the caller.
+        """
+        participants = self.participants
+        if len(participants) == 1:
+            manager, session = participants[0]
+            try:
+                floor = manager.validate(session)
+            except CCAbort:
+                # validate() released its own locks and counted the
+                # abort; roll back without re-attributing a reason.
+                manager.abort(session, reason=None)
+                raise
+            commit_tid = manager.tids.next_tid(now_us, at_least=floor)
+            return commit_tid, self._install_all(commit_tid)
+
+        floor = 0
+        try:
+            for manager, session in participants:
+                tid_floor = manager.validate(session)
+                if tid_floor > floor:
+                    floor = tid_floor
+        except CCAbort:
+            # The already-validated prefix, the failing participant,
+            # and the unvalidated rest roll back in participant order
+            # — the same total order as the reference path's two
+            # cleanup loops.
+            for manager, session in participants:
+                manager.abort(session, reason=None)
+            raise
+        commit_tid = 0
+        for manager, __ in participants:
+            tid = manager.tids.next_tid(now_us, at_least=floor)
+            if tid > commit_tid:
+                commit_tid = tid
+        return commit_tid, self._install_all(commit_tid)
+
+    def _install_all(self, commit_tid: int) -> int:
+        """Phase 2, flattened: one loop over every intent of the epoch.
+
+        Sessions were sorted by :meth:`CCSession.sorted_intents` during
+        validation (OCC) or are sorted here once (2PL/passthrough); the
+        memoized list is walked directly with the per-intent and redo
+        machinery hoisted out of the loop.  A manager whose class
+        overrides ``install`` keeps its override (the flattening only
+        assumes the generic phase-2 semantics).
+        """
+        from repro.concurrency.base import make_redo_entry
+
+        writes = 0
+        for manager, session in self.participants:
+            if type(manager).install is not _GENERIC_INSTALL:
+                writes += manager.install(session, commit_tid)
+                continue
+            install_intent = manager._install_intent
+            redo_log = manager.redo_log
+            if redo_log is None:
+                for intent in session.sorted_intents():
+                    if install_intent(intent, commit_tid):
+                        writes += 1
+            else:
+                entries = []
+                for intent in session.sorted_intents():
+                    if not install_intent(intent, commit_tid):
+                        continue
+                    writes += 1
+                    entries.append(make_redo_entry(intent, commit_tid))
+                if entries:
+                    redo_log.append(commit_tid, entries)
+            session.release_locks()
+            session.reclaim_placeholders()
+            session.finished = True
+            manager.tids.advance_to(commit_tid)
+        return writes

@@ -20,10 +20,15 @@ spanned exactly as in the paper's cost breakdowns.
 
 from __future__ import annotations
 
+from repro.concurrency import batch
 from repro.concurrency.base import CCSession, ConcurrencyControl
 from repro.errors import CCAbort
 
 Participant = tuple[ConcurrencyControl, CCSession]
+
+
+def _by_container(pair: Participant) -> int:
+    return pair[0].container_id
 
 
 class CommitOutcome:
@@ -49,6 +54,8 @@ class CommitOutcome:
 class TwoPhaseCommit:
     """Commitment protocol over the containers a transaction touched."""
 
+    __slots__ = ("participants",)
+
     def __init__(self, participants: list[Participant]) -> None:
         if not participants:
             raise ValueError("a commit needs at least one participant")
@@ -64,9 +71,27 @@ class TwoPhaseCommit:
         The validation order over containers is deterministic
         (container id), which both avoids distributed deadlock on write
         locks and keeps simulations reproducible.
+
+        By default both phases run through the epoch-batched engine
+        (:mod:`repro.concurrency.batch`); the unbatched reference path
+        below is kept verbatim for equivalence testing
+        (``REPRO_HOTPATH=reference`` / :func:`batch.set_batched`).
+        Both paths produce identical histories for identical seeds.
         """
-        ordered = sorted(self.participants,
-                         key=lambda pair: pair[0].container_id)
+        if batch.batched_enabled():
+            participants = self.participants
+            if len(participants) > 1:
+                participants = sorted(participants, key=_by_container)
+            try:
+                commit_tid, writes = batch.CommitEpoch(
+                    participants).run(now_us)
+            except CCAbort as abort:
+                return CommitOutcome(False, 0, len(participants), 0,
+                                     reason=str(abort))
+            return CommitOutcome(True, commit_tid, len(participants),
+                                 writes)
+
+        ordered = sorted(self.participants, key=_by_container)
         validated: list[Participant] = []
         floor = 0
         try:

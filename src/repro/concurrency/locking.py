@@ -99,6 +99,8 @@ class LockManager:
     acquisition and dropped when the last holder releases.
     """
 
+    __slots__ = ("policy", "stats", "_entries")
+
     def __init__(self, policy: str, stats: CCStats) -> None:
         if policy not in (NO_WAIT, WAIT_DIE):
             raise SimulationError(f"unknown 2PL policy {policy!r}")
@@ -210,6 +212,8 @@ class LockManager:
 class LockingSession(CCSession):
     """2PL session: the footprint hooks acquire locks eagerly."""
 
+    __slots__ = ("_locks", "_held", "wounded")
+
     def __init__(self, txn_id: int, container_id: int,
                  locks: LockManager) -> None:
         super().__init__(txn_id, container_id)
@@ -298,6 +302,10 @@ class LockingSession(CCSession):
 
 class LockingCC(ConcurrencyControl):
     """Per-container 2PL engine parameterized by conflict policy."""
+
+    #: ``scheme`` is an *instance* slot here (shadowing the base class
+    #: attribute): one class serves both registry names.
+    __slots__ = ("policy", "scheme", "locks")
 
     def __init__(self, container_id: int, epochs: EpochManager,
                  policy: str = NO_WAIT,

@@ -54,6 +54,8 @@ __all__ = ["MVConcurrencyManager", "SnapshotSession"]
 class SnapshotSession(CCSession):
     """Read-only record manager pinned at a begin-TID snapshot."""
 
+    __slots__ = ("snapshot_tid", "storage", "snapshot_read_count")
+
     def __init__(self, txn_id: int, container_id: int,
                  snapshot_tid: int, storage: Any = None) -> None:
         super().__init__(txn_id, container_id)
@@ -99,6 +101,35 @@ class SnapshotSession(CCSession):
         self._note(table, pk, image, observed_tid)
         return image, 1
 
+    def multi_read(self, table: Table, pks):
+        """Vectorized snapshot point reads: one chain walk per key,
+        method lookups hoisted, results preallocated.  Equivalent to
+        ``[read(table, pk) for pk in pks]`` — including one
+        :meth:`_note` audit event per key, in key order."""
+        self._begin_op()
+        pks = list(pks)
+        out: list[Any] = [None] * len(pks)
+        snapshot_tid = self.snapshot_tid
+        note = self._note
+        recmap = table.store.record_map()
+        if recmap is not None:
+            get = recmap.get
+            for i, pk in enumerate(pks):
+                record = get(pk)
+                if record is None:
+                    image, observed_tid = None, 0
+                else:
+                    image, observed_tid = record.version_at(snapshot_tid)
+                note(table, pk, image, observed_tid)
+                out[i] = image
+        else:
+            version_at = table.store.version_at
+            for i, pk in enumerate(pks):
+                image, observed_tid = version_at(pk, snapshot_tid)
+                note(table, pk, image, observed_tid)
+                out[i] = image
+        return out, len(pks)
+
     def scan(self, table: Table, predicate: Predicate = ALWAYS,
              index: str | None = None, low: tuple | None = None,
              high: tuple | None = None, reverse: bool = False,
@@ -132,25 +163,34 @@ class SnapshotSession(CCSession):
                 else self._with_chained(table, pks)
         rows: list[tuple[Any, dict]] = []
         examined = 0
+        snapshot_tid = self.snapshot_tid
+        matches = predicate.matches
+        note = self._note
+        key_of = idx.key_of if idx is not None else None
         for record in candidates:
             examined += 1
-            image, observed_tid = record.version_at(self.snapshot_tid)
-            if image is None or not predicate.matches(image):
+            image, observed_tid = record.version_at(snapshot_tid)
+            if image is None or not matches(image):
                 continue
-            if idx is not None:
-                key = idx.key_of(image)
+            if key_of is not None:
+                key = key_of(image)
                 if hash_equality:
                     # Exact-key match, like the validated path's
                     # idx.lookup(low).
                     if key != low:
                         continue
-                elif not self._in_range(table, index, image, low,
-                                        high):
-                    continue
+                else:
+                    # The validated path's range rule (_in_range),
+                    # checked inline on the key already computed —
+                    # _in_range would re-resolve the index per row.
+                    if low is not None and key[:len(low)] < low:
+                        continue
+                    if high is not None and key[:len(high)] > high:
+                        continue
                 sort_key: Any = (key, record.key)
             else:
                 sort_key = record.key
-            self._note(table, record.key, image, observed_tid)
+            note(table, record.key, image, observed_tid)
             rows.append((sort_key, image))
         rows.sort(key=lambda pair: pair[0], reverse=reverse)
         out = [row for __, row in rows]
@@ -164,8 +204,9 @@ class SnapshotSession(CCSession):
         record still retaining chain versions (the only ones whose
         snapshot image can differ from — or outlive — its head)."""
         picked: dict[tuple, Any] = {}
+        peek = table.store.peek
         for pk in pks:
-            record = table.peek_record(pk)
+            record = peek(pk)
             if record is not None:
                 picked[pk] = record
         for record in table.store.iter_chained():
@@ -222,6 +263,8 @@ class MVConcurrencyManager(ConcurrencyManager):
     """
 
     scheme = "mvocc"
+
+    __slots__ = ()
 
     def __init__(self, container_id: int, epochs: EpochManager) -> None:
         super().__init__(container_id, epochs, enabled=True)

@@ -50,12 +50,16 @@ class OCCSession(CCSession):
     behaviour unchanged — validation interprets the footprint.
     """
 
+    __slots__ = ()
+
 
 @register_cc_scheme("occ")
 class ConcurrencyManager(ConcurrencyControl):
     """Per-container OCC engine: validation, installation, TIDs."""
 
     scheme = "occ"
+
+    __slots__ = ("enabled",)
 
     def __init__(self, container_id: int, epochs: EpochManager,
                  enabled: bool = True) -> None:
@@ -79,13 +83,15 @@ class ConcurrencyManager(ConcurrencyControl):
         try:
             for intent in session.sorted_intents():
                 self._lock_intent(session, intent)
+            txn_id = session.txn_id
             for record, tid_seen in session.read_entries():
                 if record.tid != tid_seen:
                     raise ValidationAbort(
                         f"stale read of {record.key!r} in txn "
                         f"{session.txn_id}"
                     )
-                if record.is_locked_by_other(session.txn_id):
+                locker = record.locked_by
+                if locker is not None and locker != txn_id:
                     raise ValidationAbort(
                         f"read of {record.key!r} locked by concurrent "
                         f"committer"

@@ -37,6 +37,8 @@ def tid_seq(tid: int) -> int:
 class EpochManager:
     """Advances the global epoch with virtual time."""
 
+    __slots__ = ("period_us", "_epoch")
+
     def __init__(self, period_us: float = EPOCH_PERIOD_US) -> None:
         if period_us <= 0:
             raise ValueError("epoch period must be positive")
@@ -62,6 +64,8 @@ class TidGenerator:
     and write sets (Silo's rule); callers pass that floor via
     ``at_least``.
     """
+
+    __slots__ = ("_epochs", "_last")
 
     def __init__(self, epochs: EpochManager) -> None:
         self._epochs = epochs

@@ -44,7 +44,8 @@ def _as_pk(pk: Any) -> tuple:
 class ReactorContext:
     """Procedure-facing API bound to one reactor within one frame."""
 
-    __slots__ = ("_reactor", "_root", "_task", "_costs", "_rng")
+    __slots__ = ("_reactor", "_root", "_task", "_costs", "_rng",
+                 "_session_cache")
 
     def __init__(self, reactor: Any, root: Any, task: Any,
                  costs: Any) -> None:
@@ -53,6 +54,7 @@ class ReactorContext:
         self._task = task
         self._costs = costs
         self._rng: random.Random | None = None
+        self._session_cache: Any = None
 
     # ------------------------------------------------------------------
     # Identity and environment
@@ -130,10 +132,18 @@ class ReactorContext:
 
     @property
     def _session(self) -> Any:
+        # Cached for the context's lifetime (one frame): the session
+        # is fixed per (root, container) and recorders attach between
+        # runs, never mid-frame — resolving it once per data op was
+        # pure interpreter overhead on the hottest path there is.
+        session = self._session_cache
+        if session is not None:
+            return session
         session = self._root.session_for(self._reactor.container)
         recorder = self._reactor.container.database.history_recorder
         if recorder is not None:
-            return recorder.wrap(session, self._reactor, self._task)
+            session = recorder.wrap(session, self._reactor, self._task)
+        self._session_cache = session
         return session
 
     def _charge_ops(self, unit_cost: float, count: int = 1) -> None:
@@ -147,6 +157,22 @@ class ReactorContext:
         row, examined = self._session.read(table, _as_pk(pk))
         self._charge_ops(self._costs.read_cost, max(examined, 1))
         return row
+
+    def multi_lookup(self, table_name: str,
+                     pks: Iterable[Any]) -> list[Row | None]:
+        """Vectorized point reads by primary key on one relation.
+
+        Returns images aligned with ``pks`` (``None`` for missing
+        keys).  Equivalent to ``[lookup(table_name, pk) for pk in
+        pks]`` — identical footprint, identical recorded history,
+        identical total CPU charge — but served by the session's
+        single-pass :meth:`~repro.concurrency.base.CCSession.multi_read`.
+        """
+        table = self._reactor.table(table_name)
+        keys = [pk if isinstance(pk, tuple) else (pk,) for pk in pks]
+        rows, examined = self._session.multi_read(table, keys)
+        self._charge_ops(self._costs.read_cost, max(examined, 1))
+        return rows
 
     def select(self, table_name: str, where: Predicate = ALWAYS,
                index: str | None = None, low: tuple | None = None,

@@ -30,7 +30,7 @@ of the new spectrum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.durability.config import ASYNC, GROUP, SYNC
@@ -38,7 +38,7 @@ from repro.durability.wal import RedoRecord
 from repro.runtime.futures import SimFuture
 
 
-@dataclass
+@dataclass(slots=True)
 class FlushStats:
     """Per-container flush-pipeline counters."""
 

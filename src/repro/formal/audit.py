@@ -135,6 +135,22 @@ class _RecordingSession:
             self._reactor, table.name, pk)
         return result
 
+    def multi_read(self, table, pks):
+        """Vectorized point reads record one ``r`` op per key, in key
+        order — the same history a loop of :meth:`read` calls yields
+        (the per-key footprint registration the wrapped session does
+        internally was never observable here)."""
+        pks = list(pks)
+        result = self._session.multi_read(table, pks)
+        record_op = self._recorder.record_op
+        txn_id = self._session.txn_id
+        sub = self._subtxn_of()
+        table_name = table.name
+        reactor = self._reactor
+        for pk in pks:
+            record_op("r", txn_id, sub, reactor, table_name, pk)
+        return result
+
     def scan(self, table, predicate=None, **kwargs):
         from repro.relational.predicate import ALWAYS
 

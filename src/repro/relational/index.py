@@ -15,7 +15,7 @@ Two index kinds back declarative queries inside a reactor:
 from __future__ import annotations
 
 import bisect
-from typing import Any, Iterable, Iterator, Mapping
+from typing import Any, Iterable, Mapping
 
 from repro.errors import DuplicateKeyError
 from repro.relational.schema import IndexSpec
@@ -113,7 +113,7 @@ class OrderedIndex(_IndexBase):
         return frozenset(pk for __, pk in self._range_entries(key, key))
 
     def range(self, low: tuple | None, high: tuple | None,
-              reverse: bool = False) -> Iterator[tuple]:
+              reverse: bool = False) -> list[tuple]:
         """Primary keys with ``low <= key <= high`` in key order.
 
         ``None`` bounds are open.  Prefix tuples work as expected
@@ -121,19 +121,17 @@ class OrderedIndex(_IndexBase):
         prefix is extended conceptually with +infinity by using
         ``bisect_right`` on ``(high, <max>)``.
         """
-        entries = self._range_entries(low, high)
+        out = [pk for __, pk in self._range_entries(low, high)]
         if reverse:
-            entries = reversed(list(entries))
-        for __, pk in entries:
-            yield pk
+            out.reverse()
+        return out
 
     def _range_entries(self, low: tuple | None,
-                       high: tuple | None) -> Iterator[tuple[tuple, tuple]]:
+                       high: tuple | None) -> list[tuple[tuple, tuple]]:
         lo_pos = 0 if low is None else self._bisect_key_left(low)
         hi_pos = len(self._entries) if high is None else \
             self._bisect_key_right(high)
-        for i in range(lo_pos, hi_pos):
-            yield self._entries[i]
+        return self._entries[lo_pos:hi_pos]
 
     def _bisect_key_left(self, key: tuple) -> int:
         lo, hi = 0, len(self._entries)

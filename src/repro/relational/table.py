@@ -37,6 +37,9 @@ from repro.storage.store import create_store
 class Table:
     """Committed storage for one relation of one reactor."""
 
+    __slots__ = ("schema", "owner", "store", "versioning",
+                 "versioning_scope", "structure_version", "indexes")
+
     def __init__(self, schema: TableSchema,
                  store_kind: str = "versioned") -> None:
         self.schema = schema
@@ -115,12 +118,17 @@ class Table:
                 f"no index {name!r} on table {self.name!r}"
             ) from None
 
-    def records_for_pks(self, pks: Any) -> Iterator[VersionedRecord]:
+    def records_for_pks(self, pks: Any) -> list[VersionedRecord]:
         """Live records for an iterable of primary keys (sorted)."""
-        for pk in sorted(pks):
-            record = self.store.get(pk)
-            if record is not None:
-                yield record
+        records = self.store.record_map()
+        if records is None:
+            get = self.store.get
+            return [record for pk in sorted(pks)
+                    if (record := get(pk)) is not None]
+        get = records.get
+        return [record for pk in sorted(pks)
+                if (record := get(pk)) is not None
+                and not record.deleted]
 
     # ------------------------------------------------------------------
     # Snapshot reads (the multi-version visibility surface).

@@ -52,6 +52,12 @@ _RUNNING = "running"
 _BLOCKED = "blocked"
 _DONE = "done"
 
+#: Lazily-cached :class:`repro.core.context.ReactorContext`.  The
+#: import is deferred (core.context yields runtime effect objects, so a
+#: module-scope import would be circular) but resolving it once instead
+#: of per frame keeps ``_push_frame`` off the import machinery.
+_ReactorContext: type | None = None
+
 
 class Invocation:
     """A queued request: root transaction or sub-transaction call."""
@@ -155,6 +161,11 @@ def _frame_body(proc: Callable, ctx: Any, args: tuple,
 class TransactionExecutor:
     """One simulated core's worth of transaction processing."""
 
+    __slots__ = ("executor_id", "core_id", "container", "scheduler",
+                 "costs", "mpl", "queue", "ready", "running",
+                 "_dispatch_scheduled", "busy_time", "requests_served",
+                 "_shadow_of")
+
     def __init__(self, executor_id: int, core_id: int, container: Any,
                  scheduler: Any, costs: Any, mpl: int = 1) -> None:
         if mpl < 1:
@@ -172,6 +183,9 @@ class TransactionExecutor:
         #: Cumulative busy virtual time, for utilization reporting.
         self.busy_time = 0.0
         self.requests_served = 0
+        #: Replica containers expose ``shadow`` (a class-level method);
+        #: bound once so the call hot path skips a getattr per effect.
+        self._shadow_of = getattr(container, "shadow", None)
 
     # ------------------------------------------------------------------
     # Request intake and dispatch
@@ -257,9 +271,9 @@ class TransactionExecutor:
                          kwargs=invocation.kwargs)
         # Root admissions pay the executor wake-up (thread switch from
         # the request queue), part of the containerization overhead.
-        if invocation.is_root:
+        if invocation.subtxn_id == 0:
             self._busy(task, self.costs.executor_wake, "commit",
-                       lambda: self._step(task, _NOTHING, None))
+                       self._step, task, _NOTHING, None)
         else:
             self._step(task, _NOTHING, None)
 
@@ -293,13 +307,15 @@ class TransactionExecutor:
     def _push_frame(self, task: Task, reactor: Any, subtxn_id: int,
                     entered: bool, proc_name: str, args: tuple,
                     kwargs: dict) -> Frame:
-        from repro.core.context import ReactorContext  # deferred:
-        # core.context yields runtime effect objects; importing it at
-        # module scope would be circular.
+        global _ReactorContext
+        context_cls = _ReactorContext
+        if context_cls is None:
+            from repro.core.context import ReactorContext
+            context_cls = _ReactorContext = ReactorContext
 
         proc = reactor.rtype.get_procedure(proc_name)
         frame = Frame(None, reactor, subtxn_id, entered)
-        ctx = ReactorContext(reactor, task.root, task, self.costs)
+        ctx = context_cls(reactor, task.root, task, self.costs)
         frame.gen = _frame_body(proc, ctx, args, kwargs, frame)
         task.frames.append(frame)
         task.pending_charge += self.costs.proc_base_cost
@@ -328,18 +344,16 @@ class TransactionExecutor:
     def _step(self, task: Task, send_value: Any,
               throw: BaseException | None) -> None:
         """Advance the top frame one effect; handle completion/abort."""
-        frame = task.frames[-1]
+        gen = task.frames[-1].gen
         try:
             if throw is not None:
-                effect = frame.gen.throw(throw)
+                effect = gen.throw(throw)
             elif send_value is _NOTHING:
-                effect = next(frame.gen)
+                effect = next(gen)
             else:
-                effect = frame.gen.send(send_value)
+                effect = gen.send(send_value)
         except StopIteration as stop:
-            result = stop.value
-            self._after_charge(
-                task, lambda: self._frame_done(task, result))
+            self._after_charge(task, self._frame_done, task, stop.value)
             return
         except SimulationError:
             raise  # a runtime bug, not an application condition
@@ -351,46 +365,53 @@ class TransactionExecutor:
                 exc: TransactionAbort = error
             else:
                 exc = UserAbort(f"{type(error).__name__}: {error}")
-            self._after_charge(
-                task, lambda: self._frame_aborted(task, exc))
+            self._after_charge(task, self._frame_aborted, task, exc)
             return
-        self._after_charge(
-            task, lambda: self._process_effect(task, effect))
+        self._after_charge(task, self._process_effect, task, effect)
 
-    def _after_charge(self, task: Task, cont: Callable[[], None]) -> None:
-        """Convert accrued data-operation cost into busy time first."""
+    def _after_charge(self, task: Task, fn: Callable[..., None],
+                      *args: Any) -> None:
+        """Convert accrued data-operation cost into busy time first.
+
+        Continuations are ``(fn, *args)`` pairs, never closures: the
+        trampoline runs once per effect, and allocating a lambda per
+        hop dominated its profile.
+        """
         pending = task.pending_charge
         if pending > 0.0:
             task.pending_charge = 0.0
-            self._busy(task, pending, "exec", cont)
+            self._busy(task, pending, "exec", fn, *args)
         else:
-            cont()
+            fn(*args)
 
     def _busy(self, task: Task, micros: float, category: str,
-              cont: Callable[[], None]) -> None:
-        """Occupy this executor's core for ``micros``, then continue."""
+              fn: Callable[..., None], *args: Any) -> None:
+        """Occupy this executor's core for ``micros``, then continue
+        with ``fn(*args)``."""
         self.busy_time += micros
-        if task.is_root:
+        if task.invocation.subtxn_id == 0:
             task.root.charge(_BREAKDOWN[category], micros)
         if micros > 0.0:
-            self.scheduler.after(micros, cont)
+            self.scheduler.after(micros, fn, *args)
         else:
-            cont()
+            fn(*args)
 
     # ------------------------------------------------------------------
     # Effect handlers
     # ------------------------------------------------------------------
 
     def _process_effect(self, task: Task, effect: Any) -> None:
-        if task.is_root:
+        if task.invocation.subtxn_id == 0:
             task.root.effect_seq += 1
-        if isinstance(effect, ChargeEffect):
-            self._busy(task, effect.micros, effect.category,
-                       lambda: self._step(task, None, None))
-        elif isinstance(effect, CallEffect):
+        # Calls and gets dominate the yielded-effect mix (data
+        # operations never yield); test for them first.
+        if isinstance(effect, CallEffect):
             self._handle_call(task, effect)
         elif isinstance(effect, GetEffect):
             self._handle_get(task, effect)
+        elif isinstance(effect, ChargeEffect):
+            self._busy(task, effect.micros, effect.category,
+                       self._step, task, None, None)
         else:
             self._step(task, None, SimulationError(
                 f"procedure yielded a non-effect: {effect!r}"))
@@ -409,7 +430,7 @@ class TransactionExecutor:
         # are a consistent prefix of its own primary only, so mixing
         # them with another container's live primary could read a torn
         # cross-container state no validation detects.
-        shadow_of = getattr(self.container, "shadow", None)
+        shadow_of = self._shadow_of
         if shadow_of is not None:
             shadow = shadow_of(call.reactor_name)
             if shadow is not None:
@@ -431,7 +452,7 @@ class TransactionExecutor:
                              entered=False)
             return
 
-        migration = getattr(database, "migration", None)
+        migration = database.migration
         if migration is not None and reactor.migrating and \
                 root.txn_id not in reactor.inflight_roots:
             # The callee is mid-migration and this transaction holds no
@@ -452,7 +473,7 @@ class TransactionExecutor:
                                     result_future=future)
             migration.park_subcall(reactor.name, invocation)
             self._busy(task, self.costs.cs, "cs",
-                       lambda: self._step(task, future, None))
+                       self._step, task, future, None)
             return
 
         target = self._sub_call_target(reactor)
@@ -494,7 +515,7 @@ class TransactionExecutor:
             self.costs.cs + self.costs.transport_delay,
             target.submit, invocation)
         self._busy(task, self.costs.cs, "cs",
-                   lambda: self._step(task, future, None))
+                   self._step, task, future, None)
 
     def _sub_call_target(self, reactor: Any) -> "TransactionExecutor":
         """Which executor serves a sub-call on ``reactor``?
@@ -525,8 +546,7 @@ class TransactionExecutor:
         future = get.future
         if future.resolved:
             cost = self.costs.cr_ready if future.remote else 0.0
-            self._busy(task, cost, "cr",
-                       lambda: self._deliver(task, future))
+            self._busy(task, cost, "cr", self._deliver, task, future)
             return
         # Block; release the executor to other tasks.
         task.state = _BLOCKED
@@ -539,7 +559,7 @@ class TransactionExecutor:
             task.block_category = "sync_execution"
         else:
             task.block_category = "async_execution"
-        future.add_waiter(lambda fut: self._on_future_ready(task, fut))
+        future.add_waiter(self._on_future_ready, task)
         self.running = None
         self._kick()
 
@@ -560,7 +580,7 @@ class TransactionExecutor:
         self.running = task
         assert future is not None
         cost = self.costs.cr if future.remote else 0.0
-        self._busy(task, cost, "cr", lambda: self._deliver(task, future))
+        self._busy(task, cost, "cr", self._deliver, task, future)
 
     def _deliver(self, task: Task, future: SimFuture) -> None:
         try:
@@ -636,8 +656,7 @@ class TransactionExecutor:
         if len(participants) > 1:
             cost += self.costs.tpc_prepare_per_container * \
                 len(participants)
-        self._busy(task, cost, "commit",
-                   lambda: self._do_commit(task, result))
+        self._busy(task, cost, "commit", self._do_commit, task, result)
 
     def _do_commit(self, task: Task, result: Any) -> None:
         root = task.root
@@ -748,8 +767,7 @@ class TransactionExecutor:
                 reason = "user"
             TwoPhaseCommit(participants).abort(reason)
         self._busy(task, self.costs.abort_cost, "commit",
-                   lambda: self._complete_root(
-                       task, False, str(abort), None))
+                   self._complete_root, task, False, str(abort), None)
 
     def _complete_root(self, task: Task, committed: bool,
                        reason: str | None, result: Any) -> None:

@@ -26,8 +26,8 @@ class SimFuture:
     """Result placeholder for an asynchronous sub-transaction."""
 
     __slots__ = ("state", "value", "error", "remote", "consumed",
-                 "birth_seq", "resolved_at", "_waiter", "subtxn_id",
-                 "target_reactor")
+                 "birth_seq", "resolved_at", "_waiter", "_waiter_args",
+                 "subtxn_id", "target_reactor")
 
     def __init__(self, remote: bool, subtxn_id: int,
                  target_reactor: str) -> None:
@@ -42,7 +42,8 @@ class SimFuture:
         #: sync-execution vs async-execution in latency breakdowns.
         self.birth_seq = 0
         self.resolved_at: float | None = None
-        self._waiter: Callable[["SimFuture"], None] | None = None
+        self._waiter: Callable[..., None] | None = None
+        self._waiter_args: tuple = ()
         self.subtxn_id = subtxn_id
         self.target_reactor = target_reactor
 
@@ -70,21 +71,36 @@ class SimFuture:
         self.resolved_at = now
         self._notify()
 
-    def add_waiter(self, callback: Callable[["SimFuture"], None]) -> None:
-        """At most one waiter: the task blocked on this future."""
+    def add_waiter(self, callback: Callable[..., None],
+                   *args: Any) -> None:
+        """At most one waiter: the task blocked on this future.
+
+        Extra ``args`` are passed through to the callback as
+        ``callback(*args, future)`` — bound arguments instead of a
+        fresh closure per wait (the executor's hot path).  With no
+        extra args the callback is invoked as ``callback(future)``,
+        preserving the original single-argument contract.
+        """
         if self._waiter is not None:
             raise SimulationError(
                 "two waiters on one future: a sub-transaction result can "
                 "only be awaited by its calling transaction"
             )
         self._waiter = callback
-        if self.resolved:
+        self._waiter_args = args
+        if self.state != _PENDING:
             self._notify()
 
     def _notify(self) -> None:
-        if self._waiter is not None and self.resolved:
-            waiter, self._waiter = self._waiter, None
-            waiter(self)
+        waiter = self._waiter
+        if waiter is not None and self.state != _PENDING:
+            args = self._waiter_args
+            self._waiter = None
+            self._waiter_args = ()
+            if args:
+                waiter(*args, self)
+            else:
+                waiter(self)
 
     def result(self) -> Any:
         """The resolved value; raises the sub-transaction's error."""

@@ -33,7 +33,7 @@ CATEGORIES = (
 )
 
 
-@dataclass
+@dataclass(slots=True)
 class TxnStats:
     """Measurement record for one finished root transaction."""
 

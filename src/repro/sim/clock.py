@@ -18,15 +18,13 @@ class VirtualClock:
     timestamp.  Components read :attr:`now` to timestamp measurements.
     """
 
-    __slots__ = ("_now",)
+    #: ``now`` is a plain slot attribute, not a property: it is read on
+    #: every scheduled event and every ``ctx.now`` — the descriptor
+    #: call showed up in profiles.  Mutate only via :meth:`advance_to`.
+    __slots__ = ("now",)
 
     def __init__(self, start: float = 0.0) -> None:
-        self._now = float(start)
-
-    @property
-    def now(self) -> float:
-        """Current virtual time in microseconds."""
-        return self._now
+        self.now = float(start)
 
     def advance_to(self, timestamp: float) -> None:
         """Move the clock forward to ``timestamp``.
@@ -35,14 +33,15 @@ class VirtualClock:
             SimulationError: if ``timestamp`` is in the past; events must
                 be dispatched in non-decreasing time order.
         """
-        if timestamp < self._now - 1e-9:
+        now = self.now
+        if timestamp < now - 1e-9:
             raise SimulationError(
-                f"clock cannot move backwards: now={self._now}, "
+                f"clock cannot move backwards: now={now}, "
                 f"requested={timestamp}"
             )
-        if timestamp > self._now:
-            self._now = timestamp
+        if timestamp > now:
+            self.now = timestamp
 
     def reset(self, start: float = 0.0) -> None:
         """Rewind the clock; only for reuse across independent runs."""
-        self._now = float(start)
+        self.now = float(start)

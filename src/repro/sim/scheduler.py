@@ -14,7 +14,7 @@ nothing about transactions.
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable
 
 from repro.errors import SimulationError
@@ -40,11 +40,13 @@ class Event:
         """Mark the event so the scheduler skips it when popped."""
         if not self.cancelled:
             self.cancelled = True
+            # Compact the dead heap entry: the tombstone stays queued
+            # until popped, but must not pin the callback's closure or
+            # arguments (root transactions, sessions, ...) in memory.
+            self.fn = None
+            self.args = ()
             if self._scheduler is not None:
                 self._scheduler._on_cancel(self)
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         name = getattr(self.fn, "__qualname__", repr(self.fn))
@@ -54,9 +56,15 @@ class Event:
 class SimScheduler:
     """The event loop driving a simulation run."""
 
+    __slots__ = ("clock", "_queue", "_seq", "_dispatched", "_running",
+                 "_live")
+
     def __init__(self) -> None:
         self.clock = VirtualClock()
-        self._queue: list[Event] = []
+        #: Heap of ``(time, seq, event)`` tuples: seq is unique, so
+        #: comparisons resolve on the first two fields at C level and
+        #: never reach the event object.
+        self._queue: list[tuple[float, int, Event]] = []
         self._seq = 0
         self._dispatched = 0
         self._running = False
@@ -77,15 +85,17 @@ class SimScheduler:
     def at(self, timestamp: float, fn: Callable[..., Any],
            *args: Any) -> Event:
         """Schedule ``fn(*args)`` at an absolute virtual time."""
-        if timestamp < self.clock.now - 1e-9:
-            raise SimulationError(
-                f"cannot schedule in the past: now={self.clock.now}, "
-                f"requested={timestamp}"
-            )
-        event = Event(max(timestamp, self.clock.now), self._seq, fn,
-                      args, scheduler=self)
+        now = self.clock.now
+        if timestamp < now:
+            if timestamp < now - 1e-9:
+                raise SimulationError(
+                    f"cannot schedule in the past: now={now}, "
+                    f"requested={timestamp}"
+                )
+            timestamp = now
+        event = Event(timestamp, self._seq, fn, args, scheduler=self)
         self._seq += 1
-        heapq.heappush(self._queue, event)
+        heappush(self._queue, (timestamp, event.seq, event))
         self._live += 1
         return event
 
@@ -117,20 +127,23 @@ class SimScheduler:
         self._running = True
         try:
             dispatched = 0
-            while self._queue:
-                event = self._queue[0]
+            queue = self._queue
+            clock = self.clock
+            while queue:
+                time, __, event = queue[0]
                 if event.cancelled:
                     # Already uncounted at cancel(); just drop it.
-                    heapq.heappop(self._queue)
+                    heappop(queue)
                     continue
-                if until is not None and event.time > until:
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._queue)
+                heappop(queue)
                 self._live -= 1
                 # A cancel() arriving after dispatch must not touch the
                 # live counter again.
                 event._scheduler = None
-                self.clock.advance_to(event.time)
+                if time > clock.now:
+                    clock.now = time
                 event.fn(*event.args)
                 self._dispatched += 1
                 dispatched += 1
@@ -139,8 +152,8 @@ class SimScheduler:
                         f"exceeded max_events={max_events}; "
                         "possible livelock in the simulation"
                     )
-            if until is not None and self.clock.now < until:
-                self.clock.advance_to(until)
+            if until is not None and clock.now < until:
+                clock.advance_to(until)
         finally:
             self._running = False
 

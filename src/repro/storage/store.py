@@ -45,11 +45,25 @@ class Store:
 
     kind = "abstract"
 
+    __slots__ = ()
+
     def get(self, pk: tuple) -> VersionedRecord | None:
         raise NotImplementedError
 
     def peek(self, pk: tuple) -> VersionedRecord | None:
         raise NotImplementedError
+
+    def record_map(self) -> "dict[tuple, VersionedRecord] | None":
+        """The raw pk → chain-head mapping when the store is
+        dict-backed, else ``None``.
+
+        An escape hatch for bulk read paths (vectorized point reads,
+        scan candidate collection): one C-level dict probe per key
+        instead of a Python :meth:`get` frame.  Entries include
+        tombstoned heads — callers must skip ``record.deleted``
+        themselves, exactly as :meth:`get` does.
+        """
+        return None
 
     def put(self, pk: tuple, record: VersionedRecord) -> None:
         raise NotImplementedError
@@ -113,6 +127,8 @@ class VersionedStore(Store):
 
     kind = "versioned"
 
+    __slots__ = ("_records", "_chained")
+
     def __init__(self) -> None:
         self._records: dict[tuple, VersionedRecord] = {}
         #: Primary keys whose record has (or recently had) chain
@@ -128,6 +144,9 @@ class VersionedStore(Store):
 
     def peek(self, pk: tuple) -> VersionedRecord | None:
         return self._records.get(pk)
+
+    def record_map(self) -> dict[tuple, VersionedRecord]:
+        return self._records
 
     def put(self, pk: tuple, record: VersionedRecord) -> None:
         self._records[pk] = record
@@ -197,7 +216,7 @@ def create_store(kind: str = "versioned") -> Store:
 # Per-database storage engine state
 # ----------------------------------------------------------------------
 
-@dataclass
+@dataclass(slots=True)
 class VersionStats:
     """Counters behind ``database.version_stats()``."""
 
@@ -217,7 +236,7 @@ class VersionStats:
     read_only_aborts: dict[str, int] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SnapshotReadEvent:
     """One audited snapshot read (black-box certification input)."""
 
@@ -236,6 +255,8 @@ class SnapshotReadEvent:
 class StorageCoordinator:
     """Pinned snapshots, GC watermark, and version counters of one
     database (primaries and replicas share one coordinator)."""
+
+    __slots__ = ("pinned", "stats", "audit")
 
     def __init__(self) -> None:
         #: root txn id -> (pinned snapshot TID, scope).  Scope is

@@ -108,6 +108,10 @@ def new_order(ctx, w_id: int, d_id: int, c_id: int, order_items: list,
 
     # Validate items first (the 1% unused-item abort happens before any
     # remote work is dispatched, per the OLTP-Bench implementation).
+    # Per-item lookups on purpose, not multi_lookup: an invalid item
+    # must abort after examining only the items before it — batching
+    # would read (and charge for) the full list and change seeded
+    # histories on the abort path.
     prices = []
     for __, i_id, __q in order_items:
         item = ctx.lookup("item", i_id)
@@ -309,10 +313,13 @@ def stock_level(ctx, d_id: int, threshold: int, recent_orders: int = 20):
     low_o_id = max(0, next_o_id - recent_orders)
     lines = ctx.select("order_line", index="ol_by_order",
                        low=(d_id, low_o_id), high=(d_id, next_o_id))
-    item_ids = {line["ol_i_id"] for line in lines}
+    item_ids = sorted({line["ol_i_id"] for line in lines})
+    # Vectorized batch over the stock relation: identical footprint,
+    # charge and recorded history to per-item lookups (no early exit
+    # in this loop, unlike new_order's item validation).
+    stocks = ctx.multi_lookup("stock", item_ids)
     count = 0
-    for i_id in sorted(item_ids):
-        stock = ctx.lookup("stock", i_id)
+    for stock in stocks:
         if stock is not None and stock["s_quantity"] < threshold:
             count += 1
     return count

@@ -1,0 +1,231 @@
+"""Seeded equivalence: the batched hot path vs the reference path.
+
+PR 6 rebuilt the commit pipeline around the epoch-batched engine
+(:mod:`repro.concurrency.batch`) and added vectorized multi-key reads
+(:meth:`CCSession.multi_read` / ``ctx.multi_lookup``).  Both are pure
+speed work: for any fixed seed they must produce *byte-identical*
+histories — the same commits and aborts, the same commit TIDs, the
+same redo logs, the same recorded operation streams, the same virtual
+end time, and the same passing serializability certificates — as the
+unbatched reference implementations they replace.  These tests pin
+that contract under every registered cc scheme.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import asdict
+
+import pytest
+
+from repro.concurrency import batch
+from repro.concurrency.base import BUILTIN_CC_SCHEMES
+from repro.concurrency.mvcc import SnapshotSession
+from repro.concurrency.occ import ConcurrencyManager
+from repro.concurrency.tid import EpochManager
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import shared_nothing
+from repro.durability.recovery import enable_durability
+from repro.formal.audit import attach_recorder
+from repro.relational.schema import float_col, int_col, make_schema
+from repro.relational.table import Table
+from repro.workloads import smallbank as sb
+
+N = 8
+
+
+@pytest.fixture
+def reference_path():
+    """Force the unbatched reference commit path for one test."""
+    batch.set_batched(False)
+    try:
+        yield
+    finally:
+        batch.set_batched(True)
+
+
+def _specs(n_txns: int = 60) -> list[tuple]:
+    """Contended multi-transfers, deposits, and read-only balances."""
+    rng = random.Random(99)
+    specs: list[tuple] = []
+    for i in range(n_txns):
+        if i % 3 == 0:
+            variant = sb.VARIANTS[i % len(sb.VARIANTS)]
+            src = sb.reactor_name(rng.randrange(N))
+            dsts = []
+            while len(dsts) < 2:
+                dst = sb.reactor_name(rng.randrange(N))
+                if dst != src and dst not in dsts:
+                    dsts.append(dst)
+            specs.append(sb.multi_transfer_spec(variant, src, dsts, 1.0))
+        elif i % 3 == 1:
+            specs.append((sb.reactor_name(rng.randrange(N)),
+                          "deposit_checking", (1.0,)))
+        else:
+            specs.append((sb.reactor_name(rng.randrange(N)),
+                          "balance", ()))
+    return specs
+
+
+def _run(scheme: str, batched: bool) -> dict:
+    """One seeded SmallBank run; returns everything observable."""
+    batch.set_batched(batched)
+    try:
+        database = ReactorDatabase(
+            shared_nothing(4, mpl=4, cc_scheme=scheme),
+            sb.declarations(N))
+        sb.load(database, N)
+        enable_durability(database)  # async: attaches redo logs only
+        recorder = attach_recorder(database)
+
+        specs = _specs()
+        results: list[tuple] = [None] * len(specs)
+
+        def make_on_done(index: int):
+            def on_done(root, committed, reason, result):
+                results[index] = (committed, reason, root.commit_tid)
+            return on_done
+
+        for index, (reactor, proc, args) in enumerate(specs):
+            database.submit(reactor, proc, *args,
+                            on_done=make_on_done(index))
+        database.scheduler.run()
+
+        return {
+            "results": results,
+            "end_time": database.scheduler.now,
+            "redo": [c.concurrency.redo_log.dump_json_lines()
+                     for c in database.containers],
+            "cc_stats": [asdict(c.concurrency.stats)
+                         for c in database.containers],
+            "events": list(recorder.history.events),
+            "serializable": recorder.is_serializable(),
+            "money": sb.total_money(database, N),
+        }
+    finally:
+        batch.set_batched(True)
+
+
+@pytest.mark.parametrize("scheme", BUILTIN_CC_SCHEMES)
+def test_batched_commit_path_is_history_identical(scheme):
+    batched = _run(scheme, batched=True)
+    reference = _run(scheme, batched=False)
+
+    assert batched["results"] == reference["results"]
+    assert batched["end_time"] == reference["end_time"]
+    assert batched["redo"] == reference["redo"]
+    assert batched["cc_stats"] == reference["cc_stats"]
+    assert batched["events"] == reference["events"]
+    assert batched["money"] == reference["money"]
+    if scheme != "none":
+        assert batched["serializable"]
+        assert reference["serializable"]
+
+
+def test_reference_toggle_roundtrips(reference_path):
+    assert not batch.batched_enabled()
+    batch.set_batched(True)
+    assert batch.batched_enabled()
+    batch.set_batched(False)
+    assert not batch.batched_enabled()
+
+
+# ----------------------------------------------------------------------
+# multi_read vs scalar reads on the session surface
+# ----------------------------------------------------------------------
+
+
+def _table(rows: int = 12) -> Table:
+    schema = make_schema("t", [int_col("id"), float_col("v")], ["id"])
+    table = Table(schema)
+    for i in range(rows):
+        table.load_row({"id": i, "v": float(i)})
+    return table
+
+
+class TestMultiReadEquivalence:
+    def test_matches_scalar_reads_including_overlay(self):
+        table = _table()
+        manager = ConcurrencyManager(0, EpochManager())
+        pks = [(1,), (99,), (3,), (4,), (100,), (0,)]
+
+        scalar = manager.begin_session(1)
+        scalar.update(table, (3,), {"v": 33.0})
+        scalar.delete(table, (4,))
+        scalar.insert(table, {"id": 100, "v": 50.0})
+        scalar_rows = [scalar.read(table, pk)[0] for pk in pks]
+
+        vector = manager.begin_session(2)
+        vector.update(table, (3,), {"v": 33.0})
+        vector.delete(table, (4,))
+        vector.insert(table, {"id": 100, "v": 50.0})
+        vector_rows, examined = vector.multi_read(table, pks)
+
+        assert vector_rows == scalar_rows
+        assert examined == len(pks)
+        # Identical validation footprint: same observed records, same
+        # node checks for the misses.
+        assert set(vector._reads) == set(scalar._reads)
+        assert vector._node_checks.keys() == scalar._node_checks.keys()
+
+    def test_footprint_validates_like_scalar_reads(self):
+        table = _table()
+        manager = ConcurrencyManager(0, EpochManager())
+        session = manager.begin_session(1)
+        rows, __ = session.multi_read(table, [(0,), (1,), (2,)])
+        assert [r["v"] for r in rows] == [0.0, 1.0, 2.0]
+
+        # A conflicting install invalidates the batched read set just
+        # as it would invalidate scalar reads.
+        writer = manager.begin_session(2)
+        writer.update(table, (1,), {"v": 9.0})
+        floor = manager.validate(writer)
+        manager.install(writer, manager.tids.next_tid(1.0,
+                                                      at_least=floor))
+
+        from repro.errors import CCAbort
+        with pytest.raises(CCAbort):
+            manager.validate(session)
+
+    def test_snapshot_session_matches_scalar_reads(self):
+        table = _table()
+        manager = ConcurrencyManager(0, EpochManager())
+        writer = manager.begin_session(1)
+        writer.update(table, (2,), {"v": 77.0})
+        floor = manager.validate(writer)
+        tid = manager.tids.next_tid(1.0, at_least=floor)
+        manager.install(writer, tid)
+
+        pks = [(0,), (2,), (99,)]
+        scalar = SnapshotSession(10, 0, snapshot_tid=tid)
+        scalar_rows = [scalar.read(table, pk)[0] for pk in pks]
+
+        vector = SnapshotSession(11, 0, snapshot_tid=tid)
+        vector_rows, examined = vector.multi_read(table, pks)
+
+        assert vector_rows == scalar_rows
+        assert vector_rows[1]["v"] == 77.0
+        assert examined == len(pks)
+        assert vector.snapshot_read_count == scalar.snapshot_read_count
+
+    def test_stale_snapshot_ignores_newer_versions_batched(self):
+        from repro.storage.store import StorageCoordinator
+
+        table = _table()
+        manager = ConcurrencyManager(0, EpochManager())
+        old_tid = manager.tids.next_tid(1.0)
+        # Pin the old snapshot so the install retains the superseded
+        # version instead of GC-ing it.
+        coordinator = StorageCoordinator()
+        table.versioning = coordinator
+        coordinator.pin(12, old_tid)
+
+        writer = manager.begin_session(1)
+        writer.update(table, (2,), {"v": 77.0})
+        floor = manager.validate(writer)
+        manager.install(writer, manager.tids.next_tid(2.0,
+                                                      at_least=floor))
+
+        stale = SnapshotSession(12, 0, snapshot_tid=old_tid)
+        rows, __ = stale.multi_read(table, [(2,)])
+        assert rows[0]["v"] == 2.0

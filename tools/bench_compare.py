@@ -12,6 +12,12 @@ with the same key:
   (default 20%) fails the job.  The simulation is deterministic, so on
   unchanged code the delta is exactly 0 — the band absorbs intentional
   re-pricings, not noise.
+* a payload may override both via a top-level ``"gate"`` block —
+  ``{"gate": {"metric": "txns_per_kop", "tolerance": 0.5}}`` — for
+  benches whose headline number is something other than simulated
+  throughput (the wall-clock harness-speed bench gates on its
+  calibration-normalized ``txns_per_kop``, with a wide band because
+  wall-clock numbers are noisy where simulated ones are exact).
 * ``latency_us`` / ``p99_us`` / ``abort_rate`` are reported for
   context, never gated.
 * a baseline key missing from the current output fails too (coverage
@@ -52,10 +58,23 @@ ID_KEYS = (
     "read_from_replicas", "flush_interval_us", "checkpoint_every",
     "phase", "label", "variant",
 )
-#: Gated metric (lower is worse).
+#: Default gated metric (lower is worse); a payload's ``"gate"``
+#: block overrides it.
 GATE_METRIC = "throughput_tps"
 #: Context metrics shown in the table.
 REPORT_METRICS = ("latency_us", "p99_us", "abort_rate")
+
+
+def gate_of(payload: dict, default_tolerance: float) -> tuple[str, float]:
+    """The (metric, tolerance) this payload is gated on.
+
+    The baseline's ``"gate"`` block wins — the committed baseline
+    defines the contract a fresh run is held to.
+    """
+    gate = payload.get("gate") or {}
+    metric = gate.get("metric", GATE_METRIC)
+    tolerance = float(gate.get("tolerance", default_tolerance))
+    return metric, tolerance
 
 
 def row_key(run: dict) -> str:
@@ -99,12 +118,14 @@ def compare_bench(name: str, baseline_dir: Path, current_dir: Path,
     if not cur_path.exists():
         failures.append(f"{name}: benchmark produced no {cur_path}")
         return lines, failures
-    base_rows = rows_of(load_payload(base_path))
+    base_payload = load_payload(base_path)
+    base_rows = rows_of(base_payload)
     cur_rows = rows_of(load_payload(cur_path))
+    gate_metric, tolerance = gate_of(base_payload, tolerance)
 
     lines.append(f"### {name}")
     lines.append("")
-    lines.append("| run | tput base | tput now | Δ | "
+    lines.append(f"| run | {gate_metric} base | now | Δ | "
                  + " | ".join(REPORT_METRICS) + " | verdict |")
     lines.append("|---|---|---|---|"
                  + "---|" * len(REPORT_METRICS) + "---|")
@@ -113,19 +134,19 @@ def compare_bench(name: str, baseline_dir: Path, current_dir: Path,
         cur = cur_rows.get(key)
         if cur is None:
             failures.append(f"{name}: baseline run vanished: {key}")
-            lines.append(f"| `{key}` | {base.get(GATE_METRIC)} | "
+            lines.append(f"| `{key}` | {base.get(gate_metric)} | "
                          f"MISSING | | "
                          + " | ".join("" for __ in REPORT_METRICS)
                          + " | :x: missing |")
             continue
-        base_tput = float(base.get(GATE_METRIC, 0.0))
-        cur_tput = float(cur.get(GATE_METRIC, 0.0))
+        base_tput = float(base.get(gate_metric, 0.0))
+        cur_tput = float(cur.get(gate_metric, 0.0))
         delta = cur_tput - base_tput
         regressed = base_tput > 0 and \
             cur_tput < base_tput * (1.0 - tolerance)
         if regressed:
             failures.append(
-                f"{name}: {GATE_METRIC} regressed "
+                f"{name}: {gate_metric} regressed "
                 f"{pct(delta, base_tput)} (> {tolerance:.0%} band) "
                 f"on: {key}")
         context = []
@@ -142,7 +163,7 @@ def compare_bench(name: str, baseline_dir: Path, current_dir: Path,
             + f" | {verdict} |")
     for key in sorted(set(cur_rows) - set(base_rows)):
         lines.append(f"| `{key}` | — | "
-                     f"{cur_rows[key].get(GATE_METRIC)} | new | "
+                     f"{cur_rows[key].get(gate_metric)} | new | "
                      + " | ".join("" for __ in REPORT_METRICS)
                      + " | :new: |")
     lines.append("")
