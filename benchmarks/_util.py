@@ -34,6 +34,17 @@ from typing import Any
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def _drain_telemetry() -> list[dict[str, Any]]:
+    """Per-measurement telemetry summaries accumulated by the bench
+    harness (lazy import: _util must stay importable without src on
+    the path for pure-report tooling)."""
+    try:
+        from repro.bench.harness import drain_telemetry_summaries
+    except ImportError:
+        return []
+    return drain_telemetry_summaries()
+
+
 def _ensure_results_dir() -> None:
     # parents=True: survives a fresh checkout where even the parent is
     # missing (e.g. running a single benchmark file from elsewhere).
@@ -99,6 +110,14 @@ def emit_json(name: str, payload: Any,
                 "config": dict(config or {}),
             },
         }
+        if "telemetry" not in payload:
+            summaries = _drain_telemetry()
+            if summaries:
+                # One block per measurement since the last emit:
+                # commit/abort latency percentiles straight from the
+                # telemetry registry.  Report-only — the perf gate
+                # reads the "runs" rows, never this key.
+                payload["telemetry"] = summaries
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(payload, indent=2, sort_keys=True)
                     + "\n")

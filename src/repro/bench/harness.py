@@ -5,6 +5,11 @@ reproduction: it takes a freshly built database plus per-worker
 transaction factories, runs warmup + measurement in virtual time, and
 returns a :class:`~repro.bench.metrics.RunSummary` (plus raw stats for
 specialized analyses like the Figure 6 breakdown).
+
+Every measurement also snapshots the database's telemetry summary
+(commit/abort latency percentiles from the metrics registry); the
+benchmark JSON writer drains :func:`drain_telemetry_summaries` and
+embeds the blocks under a top-level ``telemetry`` key.
 """
 
 from __future__ import annotations
@@ -17,6 +22,25 @@ from repro.bench.worker import TxnFactory, Worker, spawn_workers
 from repro.core.database import ReactorDatabase
 from repro.runtime.transaction import TxnStats
 
+#: Telemetry summaries accumulated across measurements of the current
+#: benchmark process, drained by ``benchmarks/_util.emit_json``.
+_TELEMETRY_LOG: list[dict] = []
+
+
+def _note_telemetry(database: ReactorDatabase) -> dict:
+    summary = database.telemetry.bench_summary()
+    if summary:
+        _TELEMETRY_LOG.append(summary)
+    return summary
+
+
+def drain_telemetry_summaries() -> list[dict]:
+    """Telemetry summaries of every measurement since the last drain
+    (benchmark JSON writers embed them, then the log resets)."""
+    drained = list(_TELEMETRY_LOG)
+    _TELEMETRY_LOG.clear()
+    return drained
+
 
 @dataclass
 class MeasurementResult:
@@ -28,6 +52,9 @@ class MeasurementResult:
     #: busy time per executor core during the measurement window
     core_busy: dict[int, float] = field(default_factory=dict)
     window_us: float = 0.0
+    #: ``database.telemetry.bench_summary()`` at measurement end
+    #: (empty when telemetry is disabled).
+    telemetry: dict = field(default_factory=dict)
 
     def utilization(self) -> dict[int, float]:
         """Core utilization in [0, 1] over the measurement window."""
@@ -83,6 +110,7 @@ def run_measurement(database: ReactorDatabase, n_workers: int,
         workers=workers,
         core_busy=core_busy,
         window_us=measure_us,
+        telemetry=_note_telemetry(database),
     )
 
 
@@ -124,4 +152,5 @@ def single_worker_latency(database: ReactorDatabase,
         workers=[worker],
         core_busy={e.core_id: e.busy_time for e in database.executors},
         window_us=window_end - window_start,
+        telemetry=_note_telemetry(database),
     )

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
-from repro.concurrency.base import CCStats, create_cc_scheme
+from repro.concurrency.base import create_cc_scheme
 from repro.concurrency.tid import EpochManager
 from repro.core.deployment import ROUND_ROBIN, DeploymentConfig
 from repro.core.reactor import Reactor, ReactorType
@@ -37,6 +37,8 @@ from repro.runtime.executor import Invocation, TransactionExecutor
 from repro.runtime.transaction import RootTransaction, TxnStats
 from repro.sim.scheduler import SimScheduler
 from repro.storage.store import StorageCoordinator
+from repro.telemetry import Telemetry
+from repro.telemetry.facade import ABORT_REASONS
 
 
 class ReactorDatabase:
@@ -73,6 +75,10 @@ class ReactorDatabase:
         #: Online-migration manager (always attached; see
         #: repro.migration).
         self.migration: Any = None
+        #: The unified telemetry facade (metrics registry + span
+        #: tracer + exporters).  Created before ``_build`` so every
+        #: manager can register its collectors during construction.
+        self.telemetry = Telemetry(self, deployment.telemetry)
         self._build(reactors)
 
     # ------------------------------------------------------------------
@@ -144,6 +150,8 @@ class ReactorDatabase:
 
         self.migration = MigrationManager(self, deployment.migration)
 
+        self.telemetry.attach_collectors()
+
     # ------------------------------------------------------------------
     # Registry
     # ------------------------------------------------------------------
@@ -199,6 +207,7 @@ class ReactorDatabase:
             start_time=self.scheduler.now,
         )
         root.read_only = bool(read_only)
+        self.telemetry.trace_root(root, self.scheduler.now)
         invocation = Invocation(root, reactor, proc_name, args, kwargs,
                                 subtxn_id=0, on_root_done=on_done)
         if reactor.migrating:
@@ -212,11 +221,12 @@ class ReactorDatabase:
             root.finished = True
             if self.replication is not None:
                 self.replication.stats.failover_aborts += 1
+            reason = (f"container {reactor.container.container_id} "
+                      "failed")
+            self.telemetry.note_root_done(root, False, reason,
+                                          self.scheduler.now)
             if on_done is not None:
-                self.scheduler.soon(
-                    on_done, root, False,
-                    f"container {reactor.container.container_id} "
-                    "failed", None)
+                self.scheduler.soon(on_done, root, False, reason, None)
             return root
         self._route_root(reactor).submit(invocation)
         return root
@@ -314,18 +324,23 @@ class ReactorDatabase:
         roots — 0 under ``mvocc`` by construction, the abort-free
         contract benchmarks assert.
         """
-        stats = self.storage.stats
+        registry = self.telemetry.registry
         return {
             "scheme": self.deployment.cc_scheme,
             "snapshot_reads_enabled": self.snapshot_reads_enabled,
-            "live_versions": sum(t.live_version_count()
-                                 for t in self._all_tables()),
-            "versions_created": stats.versions_created,
-            "gc_versions": stats.versions_gced,
-            "snapshot_roots": stats.snapshot_roots,
-            "snapshot_reads_served": stats.snapshot_reads,
-            "pinned_snapshots": len(self.storage.pinned),
-            "read_only_aborts": dict(stats.read_only_aborts),
+            "live_versions": registry.value("storage_live_versions"),
+            "versions_created":
+                registry.value("storage_versions_created_total"),
+            "gc_versions":
+                registry.value("storage_versions_gced_total"),
+            "snapshot_roots":
+                registry.value("storage_snapshot_roots_total"),
+            "snapshot_reads_served":
+                registry.value("storage_snapshot_reads_total"),
+            "pinned_snapshots":
+                registry.value("storage_pinned_snapshots"),
+            "read_only_aborts": dict(self.storage.stats
+                                     .read_only_aborts),
         }
 
     def run(self, reactor_name: str, proc_name: str, *args: Any,
@@ -421,21 +436,15 @@ class ReactorDatabase:
         ``validations`` / ``validation_failures`` keys are the
         pre-refactor API and remain for compatibility.
         """
-        merged = CCStats()
-        for container in self.containers:
-            merged.merge(container.concurrency.stats)
-        if self.replication is not None:
-            # Read-only roots served on replicas validate (and can
-            # abort) there; their counters must not vanish from the
-            # database-wide view.
-            for group in self.replication.replicas.values():
-                for replica in group:
-                    merged.merge(replica.concurrency.stats)
-        by_reason = merged.abort_reasons()
+        registry = self.telemetry.registry
+        by_reason = {reason: registry.value("cc_aborts_total",
+                                            reason=reason)
+                     for reason in ABORT_REASONS}
         out = {
             "scheme": self.deployment.cc_scheme,
-            "validations": merged.validations,
-            "validation_failures": merged.validation_failures,
+            "validations": registry.value("cc_validations_total"),
+            "validation_failures":
+                registry.value("cc_validation_failures_total"),
             "by_reason": by_reason,
             "total_aborts": sum(by_reason.values()),
         }

@@ -38,6 +38,7 @@ from repro.durability.config import NO_DURABILITY, DurabilityConfig
 from repro.errors import DeploymentError
 from repro.migration.config import DEFAULT_MIGRATION, MigrationConfig
 from repro.replication.config import NO_REPLICATION, ReplicationConfig
+from repro.telemetry.config import TelemetryConfig
 from repro.sim.machine import (
     XEON_E3_1276,
     MachineProfile,
@@ -176,6 +177,10 @@ class DeploymentConfig:
     replication: ReplicationConfig = NO_REPLICATION
     migration: MigrationConfig = DEFAULT_MIGRATION
     durability: DurabilityConfig = NO_DURABILITY
+    #: Observability switches (metrics on/off, root-trace sampling);
+    #: the default reads the ``REPRO_TELEMETRY``/``REPRO_TRACE``
+    #: environment overrides.
+    telemetry: TelemetryConfig = field(default_factory=TelemetryConfig)
 
     def __post_init__(self) -> None:
         if not self.containers:
@@ -231,7 +236,7 @@ class DeploymentConfig:
     KNOWN_KEYS = frozenset({
         "name", "machine", "containers", "routing", "pin_reactors",
         "placement", "cc_scheme", "cc_enabled", "snapshot_reads",
-        "replication", "migration", "durability",
+        "replication", "migration", "durability", "telemetry",
     })
 
     def to_dict(self) -> dict[str, Any]:
@@ -250,6 +255,7 @@ class DeploymentConfig:
             "replication": self.replication.to_dict(),
             "migration": self.migration.to_dict(),
             "durability": self.durability.to_dict(),
+            "telemetry": self.telemetry.to_dict(),
         }
 
     @staticmethod
@@ -284,6 +290,8 @@ class DeploymentConfig:
                 data.get("migration", {})),
             durability=DurabilityConfig.from_dict(
                 data.get("durability", {})),
+            telemetry=TelemetryConfig.from_dict(
+                data.get("telemetry", {})),
         )
 
     def to_json(self) -> str:

@@ -158,6 +158,9 @@ class DurabilityManager:
         self._dirty: dict[str, dict[str, set[tuple]]] = {}
         self.checkpoints_taken = 0
         self.records_truncated = 0
+        telemetry = getattr(database, "telemetry", None)
+        if telemetry is not None:
+            telemetry.register_durability(self)
         for container in database.containers:
             log = RedoLog(container.container_id)
             container.concurrency.redo_log = log
@@ -170,9 +173,15 @@ class DurabilityManager:
     def _attach_log(self, container_id: int, log: RedoLog) -> None:
         self.logs[container_id] = log
         self.installed.setdefault(container_id, [])
+        telemetry = getattr(self.database, "telemetry", None)
         flusher = LogFlusher(container_id, self.database.scheduler,
-                             self.database.costs, self.mode)
+                             self.database.costs, self.mode,
+                             telemetry=telemetry)
         self.flushers[container_id] = flusher
+        if telemetry is not None:
+            # Idempotent: a promotion re-attaches the same container
+            # label and the gauges re-point to the new flusher.
+            telemetry.register_flusher(flusher)
 
         def on_append(record: RedoRecord,
                       cid: int = container_id,
@@ -509,6 +518,23 @@ class DurabilityManager:
             yield from log.records
 
     def stats_dict(self) -> dict[str, Any]:
+        telemetry = getattr(self.database, "telemetry", None)
+        if telemetry is not None:
+            value = telemetry.registry.value
+            return {
+                "mode": self.mode,
+                "acked_commits":
+                    value("durability_acked_commits_total"),
+                "checkpoints_taken":
+                    value("durability_checkpoints_total"),
+                "checkpoint_segments":
+                    value("durability_checkpoint_segments"),
+                "records_truncated":
+                    value("durability_records_truncated_total"),
+                "flushers": {cid: flusher.stats_dict()
+                             for cid, flusher in
+                             sorted(self.flushers.items())},
+            }
         return {
             "mode": self.mode,
             "acked_commits": self.acked_count,

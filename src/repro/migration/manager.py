@@ -45,6 +45,7 @@ from repro.core.reactor import Reactor
 from repro.durability.wal import DELETE, INSERT, RedoEntry, \
     RedoRecord, apply_record_to
 from repro.errors import MigrationAbort, MigrationError
+from repro.telemetry.spans import TRACK_MIGRATION
 
 DRAINING = "draining"
 COPYING = "copying"
@@ -66,6 +67,9 @@ class Migration:
     #: The successor instance at the destination (set at the flip).
     target: Any = None
     flipped_at: float = 0.0
+    #: Virtual time the drain barrier cleared and the copy began
+    #: (bounds the drain/copy phase spans on the migration track).
+    copy_started_at: float = 0.0
     drain_polls: int = 0
     rows_copied: int = 0
     reason: str | None = None
@@ -137,6 +141,10 @@ class MigrationManager:
         from repro.migration.policy import ElasticPolicy
 
         self.policy = ElasticPolicy(self, config)
+        telemetry = getattr(database, "telemetry", None)
+        self._telemetry = telemetry
+        if telemetry is not None:
+            telemetry.register_migration(self)
         if config.auto_rebalance:
             self.policy.start(config.auto_rebalance_horizon_us)
 
@@ -165,12 +173,23 @@ class MigrationManager:
         migration.parked_roots.append(invocation)
         migration.roots_parked_n += 1
         self.stats.roots_parked += 1
+        trace = invocation.root.trace
+        if trace is not None:
+            trace.open_child("park", "migration:parked",
+                             self.database.scheduler.now,
+                             {"reactor": reactor_name})
 
     def park_subcall(self, reactor_name: str, invocation: Any) -> None:
         migration = self.active[reactor_name]
         migration.parked_subcalls.append(invocation)
         migration.subcalls_parked_n += 1
         self.stats.subcalls_parked += 1
+        trace = invocation.root.trace
+        if trace is not None:
+            trace.open_child(("park", invocation.subtxn_id),
+                             "migration:parked",
+                             self.database.scheduler.now,
+                             {"reactor": reactor_name})
 
     # ------------------------------------------------------------------
     # The migration itself
@@ -277,6 +296,7 @@ class MigrationManager:
     def _begin_copy(self, migration: Migration) -> None:
         database = self.database
         costs = database.costs
+        migration.copy_started_at = database.scheduler.now
         reactor = migration.source
         src = reactor.container
         # Snapshot the committed state as synthetic redo after-images,
@@ -447,6 +467,20 @@ class MigrationManager:
         self.stats.completed += 1
         self.stats.rows_copied += migration.rows_copied
         self.stats.events.append(migration)
+        telemetry = self._telemetry
+        if telemetry is not None and telemetry.system_tracing:
+            # The two phases on the migration track: the drain barrier
+            # (request -> last in-flight root gone) and the copy+flip.
+            telemetry.system_span(
+                "migration:drain", TRACK_MIGRATION, migration.dst_cid,
+                migration.requested_at, migration.copy_started_at,
+                {"reactor": old.name, "polls": migration.drain_polls})
+            telemetry.system_span(
+                "migration:copy_flip", TRACK_MIGRATION,
+                migration.dst_cid, migration.copy_started_at,
+                migration.flipped_at,
+                {"reactor": old.name,
+                 "rows": migration.rows_copied})
 
         # Replay parked work at the destination, in arrival order,
         # paying a dispatch cost per replayed request.  The lists are
@@ -489,12 +523,18 @@ class MigrationManager:
             root.finished = True
             if database.replication is not None:
                 database.replication.stats.failover_aborts += 1
+            reason = (f"container {reactor.container.container_id} "
+                      "failed")
+            database.telemetry.note_root_done(
+                root, False, reason, database.scheduler.now)
             if invocation.on_root_done is not None:
                 database.scheduler.soon(
-                    invocation.on_root_done, root, False,
-                    f"container {reactor.container.container_id} "
-                    "failed", None)
+                    invocation.on_root_done, root, False, reason,
+                    None)
             return
+        trace = invocation.root.trace
+        if trace is not None:
+            trace.close_child("park", database.scheduler.now)
         database._route_root(reactor).submit(invocation)
 
     def _replay_subcall(self, invocation: Any) -> None:
@@ -504,6 +544,10 @@ class MigrationManager:
             self.park_subcall(reactor.name, invocation)
             return
         invocation.reactor = reactor
+        trace = invocation.root.trace
+        if trace is not None:
+            trace.close_child(("park", invocation.subtxn_id),
+                              database.scheduler.now)
         # executor.submit fails the result future itself when the
         # container is down, so the caller aborts instead of hanging.
         reactor.container.route(reactor).submit(invocation)
@@ -624,16 +668,44 @@ class MigrationManager:
 
     def stats_dict(self) -> dict[str, Any]:
         stats = self.stats
+        telemetry = self._telemetry
+        if telemetry is not None:
+            value = telemetry.registry.value
+            scalars = {
+                "started": value("migration_started_total"),
+                "completed": value("migration_completed_total"),
+                "cancelled": value("migration_cancelled_total"),
+                "rows_copied": value("migration_rows_copied_total"),
+                "roots_parked":
+                    value("migration_roots_parked_total"),
+                "subcalls_parked":
+                    value("migration_subcalls_parked_total"),
+                "rebalance_checks":
+                    value("migration_rebalance_checks_total"),
+                "rebalance_moves":
+                    value("migration_rebalance_moves_total"),
+            }
+        else:
+            scalars = {
+                "started": stats.started,
+                "completed": stats.completed,
+                "cancelled": stats.cancelled,
+                "rows_copied": stats.rows_copied,
+                "roots_parked": stats.roots_parked,
+                "subcalls_parked": stats.subcalls_parked,
+                "rebalance_checks": stats.rebalance_checks,
+                "rebalance_moves": stats.rebalance_moves,
+            }
         return {
-            "started": stats.started,
-            "completed": stats.completed,
-            "cancelled": stats.cancelled,
+            "started": scalars["started"],
+            "completed": scalars["completed"],
+            "cancelled": scalars["cancelled"],
             "active": sorted(self.active),
-            "rows_copied": stats.rows_copied,
-            "roots_parked": stats.roots_parked,
-            "subcalls_parked": stats.subcalls_parked,
-            "rebalance_checks": stats.rebalance_checks,
-            "rebalance_moves": stats.rebalance_moves,
+            "rows_copied": scalars["rows_copied"],
+            "roots_parked": scalars["roots_parked"],
+            "subcalls_parked": scalars["subcalls_parked"],
+            "rebalance_checks": scalars["rebalance_checks"],
+            "rebalance_moves": scalars["rebalance_moves"],
             "events": [
                 {
                     "reactor": m.reactor_name,

@@ -272,6 +272,10 @@ class TransactionExecutor:
         # Root admissions pay the executor wake-up (thread switch from
         # the request queue), part of the containerization overhead.
         if invocation.subtxn_id == 0:
+            trace = root.trace
+            if trace is not None:
+                trace.close_child("sched", self.scheduler.now,
+                                  {"core": self.core_id})
             self._busy(task, self.costs.executor_wake, "commit",
                        self._step, task, _NOTHING, None)
         else:
@@ -471,6 +475,12 @@ class TransactionExecutor:
                                     call.args, call.kwargs,
                                     subtxn_id=subtxn_id,
                                     result_future=future)
+            trace = root.trace
+            if trace is not None:
+                trace.open_child(subtxn_id, f"subcall:{reactor.name}",
+                                 self.scheduler.now,
+                                 {"proc": call.proc_name,
+                                  "parked": True})
             migration.park_subcall(reactor.name, invocation)
             self._busy(task, self.costs.cs, "cs",
                        self._step, task, future, None)
@@ -511,6 +521,11 @@ class TransactionExecutor:
         invocation = Invocation(root, reactor, call.proc_name, call.args,
                                 call.kwargs, subtxn_id=subtxn_id,
                                 result_future=future)
+        trace = root.trace
+        if trace is not None:
+            trace.open_child(subtxn_id, f"subcall:{reactor.name}",
+                             self.scheduler.now,
+                             {"proc": call.proc_name})
         self.scheduler.after(
             self.costs.cs + self.costs.transport_delay,
             target.submit, invocation)
@@ -567,6 +582,14 @@ class TransactionExecutor:
         if task.is_root:
             wait = self.scheduler.now - task.block_start
             task.root.charge(task.block_category, wait)
+        trace = task.root.trace
+        if trace is not None:
+            parent = (None if task.is_root
+                      else task.invocation.subtxn_id)
+            trace.span("wait:" + task.block_category,
+                       task.block_start, self.scheduler.now,
+                       {"on": future.target_reactor},
+                       parent_key=parent)
         task.state = _READY
         task.blocked_on = None
         task.wake_future = future
@@ -609,6 +632,10 @@ class TransactionExecutor:
         if invocation.result_future is not None:
             # Remote sub-transaction finished on this executor.
             invocation.result_future.resolve(result, self.scheduler.now)
+            trace = task.root.trace
+            if trace is not None:
+                trace.close_child(invocation.subtxn_id,
+                                  self.scheduler.now)
             self._finish_task(task)
             return
         self._commit_root(task, result)
@@ -626,6 +653,11 @@ class TransactionExecutor:
         invocation = task.invocation
         if invocation.result_future is not None:
             invocation.result_future.fail(abort, self.scheduler.now)
+            trace = task.root.trace
+            if trace is not None:
+                trace.close_child(invocation.subtxn_id,
+                                  self.scheduler.now,
+                                  {"aborted": True})
             self._finish_task(task)
             return
         self._abort_root(task, abort)
@@ -643,6 +675,10 @@ class TransactionExecutor:
     def _commit_root(self, task: Task, result: Any) -> None:
         root = task.root
         participants = root.participants()
+        trace = root.trace
+        if trace is not None:
+            trace.open_child("commit", "commit", self.scheduler.now,
+                             {"participants": len(participants)})
         # The container's CC manager prices the commit phase.  Every
         # built-in scheme currently uses the same footprint-shaped
         # formula (see the pricing note in repro.concurrency.locking),
@@ -679,6 +715,30 @@ class TransactionExecutor:
         outcome = TwoPhaseCommit(participants).commit(
             self.scheduler.now)
         root.commit_tid = outcome.commit_tid
+        trace = root.trace
+        if trace is not None:
+            # Commit-phase markers synthesized from the engine-neutral
+            # outcome: the batched and reference commit engines return
+            # identical CommitOutcomes (the hot-path equivalence
+            # contract), so a seeded trace is byte-identical under
+            # both.
+            now = self.scheduler.now
+            if outcome.containers > 1:
+                trace.instant("2pc:prepare", now,
+                              {"participants": outcome.containers},
+                              parent_key="commit")
+            if outcome.committed:
+                trace.instant("cc:validate", now,
+                              {"participants": outcome.containers},
+                              parent_key="commit")
+                trace.instant("cc:install", now,
+                              {"tid": outcome.commit_tid,
+                               "writes": outcome.writes},
+                              parent_key="commit")
+            else:
+                trace.instant("cc:abort", now,
+                              {"reason": outcome.reason},
+                              parent_key="commit")
         ack_delay = 0.0
         if outcome.committed and database.replication is not None:
             ack_delay = database.replication.on_commit_installed()
@@ -703,6 +763,16 @@ class TransactionExecutor:
             self.running = None
             self._kick()
         wait_start = self.scheduler.now
+        if trace is not None:
+            if ack_delay > 0.0:
+                # The replica ack window is priced up-front, so the
+                # span's extent is known now.
+                trace.span("replication:ack_wait", wait_start,
+                           wait_start + ack_delay,
+                           parent_key="commit")
+            if flush_wait is not None:
+                trace.open_child("flush_wait", "durability:ack_wait",
+                                 wait_start)
         pending = {"n": (1 if ack_delay > 0.0 else 0)
                    + (1 if flush_wait is not None else 0)}
 
@@ -720,6 +790,9 @@ class TransactionExecutor:
                 extra = (self.scheduler.now - wait_start) - ack_delay
                 if extra > 0.0:
                     root.charge("commit_input_gen", extra)
+                if root.trace is not None:
+                    root.trace.close_child("flush_wait",
+                                           self.scheduler.now)
                 signal_done()
             flush_wait.add_waiter(flush_done)
 
@@ -776,6 +849,8 @@ class TransactionExecutor:
         for reactor in root.reactor_refs:
             reactor.inflight_roots.discard(root.txn_id)
         database = self.container.database
+        database.telemetry.note_root_done(root, committed, reason,
+                                          self.scheduler.now)
         if database.durability is not None:
             # This is the acknowledgement instant: the set of commits
             # clients saw is what crash certification holds recovery

@@ -66,6 +66,7 @@ class RootTransaction:
         "breakdown", "remote_calls", "on_complete", "finished",
         "user_abort", "client_worker", "effect_seq", "commit_tid",
         "doomed", "read_only", "reactor_refs", "snapshot_tid",
+        "trace",
     )
 
     def __init__(self, txn_id: int, procedure: str, reactor_name: str,
@@ -106,6 +107,10 @@ class RootTransaction:
         self.snapshot_tid: int | None = None
         self.commit_tid = 0
         self.client_worker: Any = None
+        #: :class:`~repro.telemetry.spans.TraceHandle` when this root
+        #: was sampled for tracing; ``None`` otherwise (the common
+        #: case — every instrumentation site guards on it).
+        self.trace: Any = None
         #: Monotonic effect counter of the root task; used to classify
         #: future waits as sync vs async execution.
         self.effect_seq = 0

@@ -1,0 +1,104 @@
+"""Telemetry configuration: the sampling/off switches.
+
+Telemetry must never cost more than it informs: the metrics registry
+is cheap enough to stay on by default, while span tracing is *sampled*
+(one root in ``trace_sample``) so the wall-clock harness-speed gate
+keeps passing.  Diagnostics flip to full-fidelity tracing
+(``trace_sample=1`` plus the system tracks) without touching code.
+
+Environment overrides (read when a config is constructed, so a plain
+``DeploymentConfig()`` picks them up):
+
+* ``REPRO_TELEMETRY=0`` — master off switch: no spans are allocated
+  and every metric observation early-returns;
+* ``REPRO_TRACE=off`` / ``REPRO_TRACE=<N>`` / ``REPRO_TRACE=all`` —
+  root-trace sampling: disabled, one-in-N, or every root plus the
+  system tracks (log flushes, replication ships, migration phases).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Any
+
+#: Default root-trace sampling: one traced root in this many.
+DEFAULT_TRACE_SAMPLE = 64
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TELEMETRY", "1").strip().lower() \
+        not in ("0", "false", "no", "off")
+
+
+def _env_trace_sample() -> int:
+    raw = os.environ.get("REPRO_TRACE", "").strip().lower()
+    if raw in ("", "default"):
+        return DEFAULT_TRACE_SAMPLE
+    if raw in ("0", "off", "none", "no"):
+        return 0
+    if raw in ("all", "full", "1"):
+        return 1
+    try:
+        return max(0, int(raw))
+    except ValueError:
+        return DEFAULT_TRACE_SAMPLE
+
+
+def _env_trace_system() -> bool:
+    return os.environ.get("REPRO_TRACE", "").strip().lower() \
+        in ("all", "full")
+
+
+@dataclass
+class TelemetryConfig:
+    """One database's telemetry switches."""
+
+    #: Master switch: ``False`` turns the whole subsystem into no-ops
+    #: (no spans allocated, histogram observes early-return).
+    enabled: bool = field(default_factory=_env_enabled)
+    #: Root-trace sampling: 0 = tracing off, 1 = every root, N = one
+    #: root in N (selected deterministically by ``txn_id % N``).
+    trace_sample: int = field(default_factory=_env_trace_sample)
+    #: Record the system tracks too (per-container log flush epochs,
+    #: replication ship→apply, migration phases).  Off by default:
+    #: system spans accrue per *event*, not per sampled root.
+    trace_system: bool = field(default_factory=_env_trace_system)
+
+    def __post_init__(self) -> None:
+        self.trace_sample = max(0, int(self.trace_sample))
+
+    @property
+    def tracing(self) -> bool:
+        """Is any root-span tracing active?"""
+        return self.enabled and self.trace_sample > 0
+
+    # -- serialization --------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "trace_sample": self.trace_sample,
+            "trace_system": self.trace_system,
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "TelemetryConfig":
+        config = TelemetryConfig()
+        if "enabled" in data:
+            config.enabled = bool(data["enabled"])
+        if "trace_sample" in data:
+            config.trace_sample = max(0, int(data["trace_sample"]))
+        if "trace_system" in data:
+            config.trace_system = bool(data["trace_system"])
+        return config
+
+
+def full_tracing() -> TelemetryConfig:
+    """Every root traced plus the system tracks — what the trace
+    exporter and the determinism tests run under."""
+    return TelemetryConfig(enabled=True, trace_sample=1,
+                           trace_system=True)
+
+
+__all__ = ["TelemetryConfig", "full_tracing", "DEFAULT_TRACE_SAMPLE"]

@@ -20,6 +20,10 @@ with the same key:
   wall-clock numbers are noisy where simulated ones are exact).
 * ``latency_us`` / ``p99_us`` / ``abort_rate`` are reported for
   context, never gated.
+* a current payload's top-level ``"telemetry"`` block (per-measurement
+  commit/abort latency percentiles from the telemetry registry) is
+  rendered as a report-only table — also never gated, and absent
+  blocks (older baselines, telemetry disabled) are simply skipped.
 * a baseline key missing from the current output fails too (coverage
   must not silently shrink); new keys are reported as additions.
 
@@ -167,7 +171,34 @@ def compare_bench(name: str, baseline_dir: Path, current_dir: Path,
                      + " | ".join("" for __ in REPORT_METRICS)
                      + " | :new: |")
     lines.append("")
+    lines.extend(telemetry_lines(name, load_payload(cur_path)))
     return lines, failures
+
+
+def telemetry_lines(name: str, payload: dict) -> list[str]:
+    """Report-only latency-percentile table from a payload's
+    ``telemetry`` block (one row per measurement).  Never gated;
+    payloads without the block yield no lines."""
+    blocks = payload.get("telemetry")
+    if not isinstance(blocks, list) or not blocks:
+        return []
+    lines = [f"#### {name}: telemetry latency percentiles "
+             f"(report-only)", "",
+             "| measurement | commits | aborts | commit p50 (µs) | "
+             "commit p99 (µs) | commit p999 (µs) | abort p99 (µs) |",
+             "|---|---|---|---|---|---|---|"]
+    for index, block in enumerate(blocks):
+        if not isinstance(block, dict):
+            continue
+        commit = block.get("txn_commit_latency_us") or {}
+        abort = block.get("txn_abort_latency_us") or {}
+        lines.append(
+            f"| {index} | {block.get('commits', '—')} | "
+            f"{block.get('aborts', '—')} | "
+            f"{commit.get('p50', '—')} | {commit.get('p99', '—')} | "
+            f"{commit.get('p999', '—')} | {abort.get('p99', '—')} |")
+    lines.append("")
+    return lines
 
 
 def update_baselines(names: list[str], baseline_dir: Path,

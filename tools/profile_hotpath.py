@@ -16,8 +16,10 @@ Usage::
         --json benchmarks/results/profile_hotpath.json
 
 The snapshot JSON maps ``file:line(function)`` to call counts and
-timings; ``tools/bench_compare.py`` does not gate it (profiles are
-machine-dependent diagnostics, not regression metrics).
+timings, and carries the run's telemetry metrics snapshot under
+``telemetry_metrics`` so the profile is attributable to the simulated
+work it measured; ``tools/bench_compare.py`` does not gate it
+(profiles are machine-dependent diagnostics, not regression metrics).
 """
 
 from __future__ import annotations
@@ -41,8 +43,10 @@ WORKLOADS = ("smallbank", "ycsb", "tpcc-neworder",
              "tpcc-stocklevel")
 
 
-def _drive(workload: str, scheme: str, measure_us: float) -> int:
-    """One seeded measurement; returns transactions processed."""
+def _drive(workload: str, scheme: str,
+           measure_us: float) -> tuple[int, dict]:
+    """One seeded measurement; returns (transactions processed,
+    telemetry metrics snapshot)."""
     from repro.bench.harness import run_measurement
     from repro.core.database import ReactorDatabase
     from repro.core.deployment import (
@@ -96,7 +100,7 @@ def _drive(workload: str, scheme: str, measure_us: float) -> int:
     result = run_measurement(database, workers, factory_for,
                              warmup_us=5_000.0, measure_us=measure_us,
                              n_epochs=4)
-    return len(result.raw_stats)
+    return len(result.raw_stats), database.telemetry.metrics_snapshot()
 
 
 def _snapshot(stats: pstats.Stats, top: int) -> list[dict]:
@@ -136,7 +140,8 @@ def main(argv: list[str] | None = None) -> int:
 
     profiler = cProfile.Profile()
     profiler.enable()
-    txns = _drive(args.workload, args.scheme, args.measure_us)
+    txns, telemetry_metrics = _drive(args.workload, args.scheme,
+                                     args.measure_us)
     profiler.disable()
 
     buffer = io.StringIO()
@@ -155,6 +160,7 @@ def main(argv: list[str] | None = None) -> int:
             "measure_us": args.measure_us,
             "transactions": txns,
             "top_cumulative": _snapshot(stats, args.top),
+            "telemetry_metrics": telemetry_metrics,
         }
         args.json.write_text(
             json.dumps(payload, indent=2, sort_keys=True) + "\n")
