@@ -1,0 +1,62 @@
+"""Adversarial scenario campaigns on the deterministic simulator.
+
+FoundationDB-style seeded fault campaigns: a single master seed expands
+into randomized deployment configs and fault schedules (crashes +
+promotions, mid-flight migrations and rebalances, torn-flush crash
+images, asymmetric container slowdowns, replica-lag spikes) injected at
+virtual-time points over SmallBank / YCSB / TPC-C slices.  Every
+episode must pass every applicable black-box certificate from
+:mod:`repro.formal.audit`; failures are auto-shrunk to minimal repro
+files the regression suite replays.
+
+Layers: :mod:`~repro.chaos.schedule` (pure fault-schedule data +
+generator), :mod:`~repro.chaos.injection` (resolving actions against a
+live database), :mod:`~repro.chaos.episode` (one run + verdict),
+:mod:`~repro.chaos.shrink` (delta-debugging), and
+:mod:`~repro.chaos.campaign` (the master-seeded driver behind
+``tools/chaos_campaign.py``).
+"""
+
+from repro.chaos.campaign import (
+    CampaignConfig,
+    CampaignReport,
+    episode_config,
+    episode_schedule,
+    run_campaign,
+)
+from repro.chaos.episode import (
+    BUG_TOGGLES,
+    EpisodeConfig,
+    EpisodeResult,
+    run_episode,
+)
+from repro.chaos.injection import FaultInjector
+from repro.chaos.schedule import (
+    FAULT_KINDS,
+    FaultAction,
+    FaultSchedule,
+    ScheduleSpec,
+    generate_schedule,
+)
+from repro.chaos.shrink import ShrinkResult, make_repro, shrink_schedule
+
+__all__ = [
+    "FAULT_KINDS",
+    "BUG_TOGGLES",
+    "FaultAction",
+    "FaultSchedule",
+    "ScheduleSpec",
+    "generate_schedule",
+    "FaultInjector",
+    "EpisodeConfig",
+    "EpisodeResult",
+    "run_episode",
+    "ShrinkResult",
+    "shrink_schedule",
+    "make_repro",
+    "CampaignConfig",
+    "CampaignReport",
+    "episode_config",
+    "episode_schedule",
+    "run_campaign",
+]

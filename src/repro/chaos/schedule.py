@@ -1,0 +1,173 @@
+"""Seeded fault schedules: the randomized-but-replayable adversary.
+
+A :class:`FaultSchedule` is a list of :class:`FaultAction` entries —
+``(at_us, kind, params)`` — injected at virtual-time points while an
+episode's workload runs.  Schedules are *pure data*: generation is a
+deterministic function of ``(seed, spec)``, serialization round-trips
+exactly through JSON, and the shrinker manipulates schedules without
+knowing what any action does.  That separation is what makes a failing
+episode a three-line repro file instead of a flaky observation.
+
+Fault kinds (resolved against live state by
+:mod:`repro.chaos.injection`; an action whose preconditions fail at its
+fire time is *skipped*, deterministically, and counted):
+
+``crash_promote``
+    Kill a primary container and promote its most advanced replica.
+``migrate``
+    Start an online migration of a currently-movable reactor.
+``rebalance``
+    One elastic load check (``ReactorDatabase.rebalance``).
+``crash_image``
+    Take a :meth:`DurabilityManager.crash` image mid-run, recover a
+    fresh database from it, and certify the pair.
+``slow_container``
+    Asymmetric slowdown: rescale one container's local costs.
+``lag_spike``
+    Stall one container's replication ship channel.
+``kick_flush``
+    Force a container's open group-commit epoch down early.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.rng import RngFactory
+
+SCHEDULE_SCHEMA = "chaos-schedule-v1"
+
+#: Every fault kind the injector understands.
+FAULT_KINDS = (
+    "crash_promote",
+    "migrate",
+    "rebalance",
+    "crash_image",
+    "slow_container",
+    "lag_spike",
+    "kick_flush",
+)
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """One scheduled fault: ``kind`` fires at virtual time ``at_us``."""
+
+    at_us: float
+    kind: str
+    params: tuple[tuple[str, Any], ...] = ()
+
+    def param(self, name: str, default: Any = None) -> Any:
+        for key, value in self.params:
+            if key == name:
+                return value
+        return default
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"at_us": self.at_us, "kind": self.kind,
+                "params": dict(self.params)}
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "FaultAction":
+        return FaultAction(
+            at_us=float(data["at_us"]),
+            kind=str(data["kind"]),
+            params=tuple(sorted(dict(data.get("params", {})).items())),
+        )
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """An ordered fault schedule plus the seed that generated it.
+
+    ``seed`` and ``horizon_us`` are provenance — replay and shrinking
+    operate on the ``actions`` list alone.
+    """
+
+    seed: int
+    horizon_us: float
+    actions: tuple[FaultAction, ...] = field(default_factory=tuple)
+
+    def replace_actions(self,
+                        actions: list[FaultAction]) -> "FaultSchedule":
+        return FaultSchedule(seed=self.seed,
+                             horizon_us=self.horizon_us,
+                             actions=tuple(actions))
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "schema": SCHEDULE_SCHEMA,
+            "seed": self.seed,
+            "horizon_us": self.horizon_us,
+            "actions": [action.to_dict() for action in self.actions],
+        }
+
+    @staticmethod
+    def from_dict(data: dict[str, Any]) -> "FaultSchedule":
+        return FaultSchedule(
+            seed=int(data["seed"]),
+            horizon_us=float(data["horizon_us"]),
+            actions=tuple(FaultAction.from_dict(entry)
+                          for entry in data.get("actions", [])),
+        )
+
+
+@dataclass(frozen=True)
+class ScheduleSpec:
+    """What the generator may draw: applicability flags derived from
+    an episode's deployment, plus the action-count band."""
+
+    n_containers: int
+    horizon_us: float
+    replication: bool = False
+    durability: bool = False
+    migration: bool = True
+    min_actions: int = 2
+    max_actions: int = 5
+
+
+def _applicable_kinds(spec: ScheduleSpec) -> list[str]:
+    kinds = ["slow_container"]
+    if spec.migration and spec.n_containers >= 2:
+        kinds += ["migrate", "rebalance"]
+    if spec.replication:
+        kinds += ["crash_promote", "lag_spike"]
+    if spec.durability:
+        kinds += ["crash_image", "kick_flush"]
+    return kinds
+
+
+def generate_schedule(seed: int, spec: ScheduleSpec) -> FaultSchedule:
+    """Deterministically expand ``seed`` into a fault schedule.
+
+    Same ``(seed, spec)`` → byte-identical schedule; different seeds →
+    independent draws (named RNG streams, no global state).
+    """
+    rng = RngFactory(seed).stream("chaos/schedule")
+    kinds = _applicable_kinds(spec)
+    n_actions = rng.randint(spec.min_actions,
+                            max(spec.min_actions, spec.max_actions))
+    actions: list[FaultAction] = []
+    for __ in range(n_actions):
+        kind = kinds[rng.randrange(len(kinds))]
+        # Fault points span warmup through the post-workload drain
+        # window (late faults catch in-flight commit/ack races).
+        at_us = round(rng.uniform(0.05, 1.1) * spec.horizon_us, 3)
+        params: dict[str, Any] = {}
+        if kind in ("crash_promote", "slow_container", "lag_spike",
+                    "kick_flush"):
+            params["container"] = rng.randrange(spec.n_containers)
+        if kind == "migrate":
+            params["reactor_index"] = rng.randrange(64)
+            params["dst"] = rng.randrange(spec.n_containers)
+        if kind == "slow_container":
+            params["factor"] = round(rng.uniform(1.5, 4.0), 3)
+        if kind == "lag_spike":
+            params["extra_us"] = round(rng.uniform(100.0, 2000.0), 3)
+        actions.append(FaultAction(
+            at_us=at_us, kind=kind,
+            params=tuple(sorted(params.items()))))
+    actions.sort(key=lambda action: (action.at_us, action.kind))
+    return FaultSchedule(seed=seed, horizon_us=spec.horizon_us,
+                         actions=tuple(actions))

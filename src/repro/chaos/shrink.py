@@ -1,0 +1,127 @@
+"""Delta-debugging a failing fault schedule down to a minimal repro.
+
+Classic ddmin over the action list — try dropping chunks at shrinking
+granularity while the failure still reproduces — followed by a retiming
+pass that snaps the surviving actions' fire times to coarse values
+(whole microseconds, then multiples of the workload gap), which makes
+the committed repro files humanly readable.  The predicate is opaque
+(usually "re-run the episode, same failure kinds"), so the shrinker
+works for any failure the campaign can observe; a run budget caps the
+episode count because each probe is a full simulation.
+
+The output is 1-minimal with respect to action removal when the budget
+allowed a complete final sweep: removing any single remaining action
+makes the failure vanish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Sequence
+
+from repro.chaos.schedule import FaultAction, FaultSchedule
+
+Predicate = Callable[[FaultSchedule], bool]
+
+
+@dataclass
+class ShrinkResult:
+    schedule: FaultSchedule
+    episodes_run: int
+    minimal: bool  # True when the final 1-minimality sweep completed
+
+
+def _snap_candidates(at_us: float, gap_us: float) -> list[float]:
+    out = []
+    for candidate in (round(at_us / gap_us) * gap_us,
+                      float(round(at_us))):
+        if candidate > 0 and candidate != at_us and candidate not in out:
+            out.append(candidate)
+    return out
+
+
+def shrink_schedule(schedule: FaultSchedule, reproduces: Predicate,
+                    max_episodes: int = 80,
+                    snap_gap_us: float = 25.0) -> ShrinkResult:
+    """Minimize ``schedule`` while ``reproduces(candidate)`` holds.
+
+    ``reproduces`` must be True for ``schedule`` itself (the caller
+    observed the failure); it is *not* re-checked here.
+    """
+    budget = {"left": max_episodes}
+
+    def probe(actions: Sequence[FaultAction]) -> bool:
+        if budget["left"] <= 0:
+            return False
+        budget["left"] -= 1
+        return reproduces(schedule.replace_actions(list(actions)))
+
+    actions = list(schedule.actions)
+
+    # -- ddmin over the action list ------------------------------------
+    granularity = 2
+    while len(actions) >= 2 and budget["left"] > 0:
+        chunk = max(1, len(actions) // granularity)
+        reduced = False
+        start = 0
+        while start < len(actions) and budget["left"] > 0:
+            candidate = actions[:start] + actions[start + chunk:]
+            if probe(candidate):
+                actions = candidate
+                reduced = True
+                # Same start now points at the next chunk.
+            else:
+                start += chunk
+        if reduced:
+            granularity = max(granularity - 1, 2)
+        elif chunk == 1:
+            break
+        else:
+            granularity = min(granularity * 2, len(actions))
+    if len(actions) == 1 and budget["left"] > 0 and probe([]):
+        actions = []
+
+    # -- retime the survivors ------------------------------------------
+    for index in range(len(actions)):
+        for at_us in _snap_candidates(actions[index].at_us,
+                                      snap_gap_us):
+            if budget["left"] <= 0:
+                break
+            candidate = list(actions)
+            candidate[index] = FaultAction(
+                at_us=at_us, kind=actions[index].kind,
+                params=actions[index].params)
+            if probe(candidate):
+                actions = candidate
+                break
+
+    # -- certify 1-minimality (drop any single action → no repro) ------
+    minimal = budget["left"] >= len(actions)
+    if minimal:
+        for index in range(len(actions)):
+            if probe(actions[:index] + actions[index + 1:]):
+                # A single drop still reproduces: take it and give up
+                # on certifying minimality within this budget.
+                actions = actions[:index] + actions[index + 1:]
+                minimal = False
+                break
+
+    return ShrinkResult(
+        schedule=schedule.replace_actions(actions),
+        episodes_run=max_episodes - budget["left"],
+        minimal=minimal,
+    )
+
+
+def make_repro(name: str, config: Any, schedule: FaultSchedule,
+               failure_kinds: list[str]) -> dict[str, Any]:
+    """The committed repro-file payload
+    (``tests/test_chaos_regressions.py`` replays these forever)."""
+    return {
+        "schema": "chaos-repro-v1",
+        "name": name,
+        "config": config.to_dict(),
+        "schedule": schedule.to_dict(),
+        "expected_ok": False,
+        "failure_kinds": sorted(failure_kinds),
+    }

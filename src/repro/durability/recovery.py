@@ -158,6 +158,11 @@ class DurabilityManager:
         self._dirty: dict[str, dict[str, set[tuple]]] = {}
         self.checkpoints_taken = 0
         self.records_truncated = 0
+        #: Deliberate-bug toggle (chaos self-test only): acknowledge
+        #: group/sync commits without waiting for their epoch flush —
+        #: the classic ack-before-flush bug crash certification must
+        #: catch as acked-commit loss.
+        self.chaos_ack_bypass = False
         telemetry = getattr(database, "telemetry", None)
         if telemetry is not None:
             telemetry.register_durability(self)
@@ -284,6 +289,13 @@ class DurabilityManager:
             self._sites[root.txn_id] = sites
             if len(sites) > 1:
                 self.cross_groups.append(sites)
+        if self.chaos_ack_bypass:
+            # Bug toggle: report the commit durable *now*, flush
+            # pending.  Site capture above already ran, so the ack is
+            # recorded and a crash inside the flush window shows up as
+            # ``lost_acked`` — silently skipping the capture too would
+            # make the bug invisible to the certificate.
+            return None
         if not futures:
             return None
         if len(futures) == 1:

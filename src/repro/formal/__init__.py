@@ -19,11 +19,13 @@ audits (:class:`HistoryRecorder` with ``attach_recorder`` /
 from repro.formal.audit import (
     HistoryRecorder,
     attach_recorder,
+    certify_all,
     certify_crash_recovery,
     certify_migration,
     certify_replication,
     certify_snapshot_isolation,
     detach_recorder,
+    recording,
 )
 from repro.formal.history import ReactorHistory, history_of
 from repro.formal.ops import Op, Terminal, abort, commit, read, write
@@ -62,6 +64,8 @@ __all__ = [
     "HistoryRecorder",
     "attach_recorder",
     "detach_recorder",
+    "recording",
+    "certify_all",
     "certify_replication",
     "certify_migration",
     "certify_snapshot_isolation",

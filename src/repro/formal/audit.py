@@ -16,6 +16,7 @@ only, never virtual time.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any
 
 from repro.concurrency.base import CCSession
@@ -228,7 +229,7 @@ def _expected_state(manager: Any, cid: int, records: list,
 
 def _container_state(container: Any) \
         -> dict[tuple[str, str], dict[tuple, dict]]:
-    """The live shadow-table state of a replica/promoted container."""
+    """The live shadow-table state of a serving replica container."""
     state: dict[tuple[str, str], dict[tuple, dict]] = {}
     for name in container.shadow_names():
         shadow = container.shadow(name)
@@ -240,6 +241,35 @@ def _container_state(container: Any) \
             for row in rows:
                 bucket[table.schema.primary_key_of(row)] = row
     return state
+
+
+def _promoted_state(database: Any, container: Any) \
+        -> tuple[dict[tuple[str, str], dict[tuple, dict]], set[str]]:
+    """Live state of a *promoted* container, by routing registry.
+
+    A promoted replica is a primary: after promotion, reactors can
+    migrate onto it (live reactors, never entered into its shadow
+    table) or away from it (still in its shadow table, but retired),
+    so the container's real state is whatever the database currently
+    homes there — not its frozen shadow list.  Returns the state map
+    plus the resident reactor names, so the caller can scope the
+    replayed expectation to the same residents.
+    """
+    state: dict[tuple[str, str], dict[tuple, dict]] = {}
+    names: set[str] = set()
+    for name in database.reactor_names():
+        reactor = database.reactor(name)
+        if reactor.container is not container:
+            continue
+        names.add(name)
+        for table in reactor.catalog:
+            rows = table.rows()
+            if not rows:
+                continue  # same normalization as _expected_state
+            bucket = state.setdefault((name, table.name), {})
+            for row in rows:
+                bucket[table.schema.primary_key_of(row)] = row
+    return state, names
 
 
 def certify_replication(database: Any) -> dict[str, Any]:
@@ -278,9 +308,21 @@ def certify_replication(database: Any) -> dict[str, Any]:
         tids = [r.commit_tid for r in records]
         order_ok = all(a < b for a, b in zip(tids, tids[1:]))
         replay_records = shipped if role == "primary" else records
-        state_ok = _container_state(container) == _expected_state(
+        expected = _expected_state(
             manager, container_id, replay_records,
             fences=getattr(container, "reactor_fences", None))
+        if role == "primary":
+            # Post-promotion migrations re-home reactors in and out of
+            # the container; both sides of the equivalence are scoped
+            # to the reactors the database currently homes here (a
+            # migrated-away reactor's history legitimately stays in
+            # the shipped order).
+            actual, resident = _promoted_state(database, container)
+            expected = {key: rows for key, rows in expected.items()
+                        if key[0] in resident}
+        else:
+            actual = _container_state(container)
+        state_ok = actual == expected
         entry = {
             "container_id": container_id,
             "replica_id": container.replica_id,
@@ -351,9 +393,9 @@ def certify_migration(database: Any) -> dict[str, Any]:
     Earlier migrations of a re-migrated reactor are listed as
     ``superseded`` (their destination state has legitimately moved
     on); cancelled migrations are listed, not failed.  Replaying
-    through a log a checkpoint truncated below the watermark is
-    reported with ``log_checked: false`` instead of a spurious
-    failure.
+    through a log a checkpoint truncated below the watermark — or one
+    a destination failover replaced after the flip — is reported with
+    ``log_checked: false`` instead of a spurious failure.
     """
     manager = getattr(database, "migration", None)
     report: dict[str, Any] = {
@@ -412,9 +454,19 @@ def certify_migration(database: Any) -> dict[str, Any]:
         for record in migration.snapshot_records:
             apply(record.entries)
         dst_log = migration.dst_log
-        log_checked = dst_log is not None and \
-            getattr(dst_log, "truncated_through", 0) \
-            <= migration.watermark
+        dst_live_log = getattr(
+            database.containers[migration.dst_cid].concurrency,
+            "redo_log", None)
+        log_checked = (
+            dst_log is not None
+            # A destination failover after the flip re-anchored the
+            # container onto a fresh log (promotion seeding): the
+            # flip-time anchor is frozen at the kill and can no longer
+            # replay to the live state.  The promoted container's own
+            # state equivalence is certified by certify_replication.
+            and dst_log is dst_live_log
+            and getattr(dst_log, "truncated_through", 0)
+            <= migration.watermark)
         if log_checked:
             for record in dst_log.records:
                 if record.commit_tid > migration.watermark:
@@ -713,3 +765,78 @@ def attach_recorder(database: Any) -> HistoryRecorder:
 def detach_recorder(database: Any) -> None:
     """Stop recording on a database."""
     database.history_recorder = None
+
+
+@contextmanager
+def recording(database: Any):
+    """Episode-scoped recorder lifecycle: attach a fresh
+    :class:`HistoryRecorder`, yield it, and always detach on exit —
+    back-to-back episodes in one process must not observe each other's
+    histories (or leave a dangling recorder on an abandoned database).
+    """
+    recorder = attach_recorder(database)
+    try:
+        yield recorder
+    finally:
+        detach_recorder(database)
+
+
+def certify_all(database: Any, recorder: Any = None,
+                si_events: Any = None,
+                crash_reports: list | None = None) -> dict[str, Any]:
+    """Run every applicable black-box certificate and aggregate.
+
+    The one-call dispatcher the chaos campaigns (and any end-of-run
+    audit) use: serializability from ``recorder`` (or the database's
+    attached recorder), replication, migration and snapshot-isolation
+    certificates from live state, plus externally produced
+    :func:`certify_crash_recovery` reports (crash images are taken
+    mid-run, so their certificates are handed in, not re-derived).
+
+    Returns ``{"ok", "failures", <certificate reports>}`` where
+    ``failures`` lists one ``{"kind", "detail"}`` entry per failed
+    certificate — inapplicable certificates (``enabled: false``) and
+    reported-not-failed windows (async losses, unchecked logs) do not
+    fail the aggregate, mirroring each certificate's own contract.
+    """
+    if recorder is None:
+        recorder = getattr(database, "history_recorder", None)
+    serializability = {"enabled": recorder is not None, "ok": True}
+    if recorder is not None:
+        serializability["ok"] = recorder.is_serializable()
+
+    report: dict[str, Any] = {
+        "ok": True,
+        "failures": [],
+        "serializability": serializability,
+        "replication": certify_replication(database),
+        "migration": certify_migration(database),
+        "snapshot_isolation": certify_snapshot_isolation(
+            database, events=si_events),
+        "crash_recovery": {
+            "enabled": bool(crash_reports),
+            "ok": all(entry.get("ok") for entry in crash_reports or []),
+            "images": len(crash_reports or []),
+            "reports": list(crash_reports or []),
+        },
+    }
+    details = {
+        "serializability": "recorded history is not "
+                           "conflict-serializable",
+        "replication": "a replica diverged from its primary's commit "
+                       "order or a failover lost acked commits",
+        "migration": "a completed migration failed routing, "
+                     "quiescence, or state-replay checks",
+        "snapshot_isolation": "an audited snapshot read violated its "
+                              "snapshot",
+        "crash_recovery": "a crash image failed recovery "
+                          "certification",
+    }
+    for kind in ("serializability", "replication", "migration",
+                 "snapshot_isolation", "crash_recovery"):
+        certificate = report[kind]
+        if certificate.get("enabled") and not certificate.get("ok"):
+            report["ok"] = False
+            report["failures"].append({"kind": kind,
+                                       "detail": details[kind]})
+    return report

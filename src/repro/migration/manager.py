@@ -141,6 +141,11 @@ class MigrationManager:
         from repro.migration.policy import ElasticPolicy
 
         self.policy = ElasticPolicy(self, config)
+        #: Deliberate-bug toggle (chaos self-test only): drop parked
+        #: root invocations at the routing flip instead of replaying
+        #: them — a lost-work bug the campaign's liveness check (every
+        #: submitted root reports an outcome) must catch.
+        self.chaos_drop_parked = False
         telemetry = getattr(database, "telemetry", None)
         self._telemetry = telemetry
         if telemetry is not None:
@@ -490,6 +495,11 @@ class MigrationManager:
         # certify_migration only state-checks the latest one.
         replay = database.costs.mig_replay_per_txn
         delay = 0.0
+        if self.chaos_drop_parked:
+            # Bug toggle: the parked roots silently vanish (their
+            # ``on_done`` never fires); parked sub-calls still replay
+            # so in-flight parents don't wedge the whole scheduler.
+            migration.parked_roots = []
         for invocation in migration.parked_roots:
             delay += replay
             database.scheduler.after(delay, self._replay_root,
@@ -582,6 +592,21 @@ class MigrationManager:
     # ------------------------------------------------------------------
     # Elastic rebalancing
     # ------------------------------------------------------------------
+
+    def movable_reactors(self) -> list[str]:
+        """Reactors eligible to start a migration right now: live on a
+        non-failed container and not already mid-migration.  Sorted,
+        so randomized fault campaigns can pick deterministically."""
+        names = []
+        for name in self.database.reactor_names():
+            if name in self.active:
+                continue
+            reactor = self.database.reactor(name)
+            if reactor.migrating or reactor.retired or \
+                    reactor.container.failed:
+                continue
+            names.append(name)
+        return sorted(names)
 
     def container_loads(self) -> list[int]:
         """Submissions per container over the current window (load of

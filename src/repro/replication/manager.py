@@ -122,6 +122,11 @@ class ReplicationManager:
                                        list[dict[str, Any]]]] = {}
         self._read_route: dict[int, int] = {}
         self._next_replica_id = 0
+        #: Deliberate-bug toggle (chaos self-test only): silently drop
+        #: one shipped record per container mid-stream — a lost-update
+        #: bug the replica prefix-consistency certificate must catch.
+        self.chaos_drop_ship = False
+        self._chaos_dropped: dict[int, bool] = {}
 
         # Deferred: durability.recovery imports core.database, which
         # builds this manager — importing it at module scope would be
@@ -200,6 +205,15 @@ class ReplicationManager:
         ack_delay = 0.0
         for cid, record in inflight:
             epoch = self.ship_epoch[cid]
+            if self.chaos_drop_ship and \
+                    not self._chaos_dropped.get(cid) and \
+                    len(self.shipped[cid]) >= 3:
+                # Bug toggle: lose this record on the wire (it stays
+                # in ``shipped``, the reference order, so the replica
+                # prefix check sees the hole once a later record
+                # lands).
+                self._chaos_dropped[cid] = True
+                continue
             apply_delay = (costs.repl_ship_delay
                            + costs.repl_apply_per_write
                            * len(record.entries))
@@ -318,6 +332,17 @@ class ReplicationManager:
             for table_name, rows in by_table.items():
                 replica.mirror_load(new_reactor.name, table_name, rows,
                                     tid=watermark)
+        # A *promoted* destination serves the migrated-in reactor as a
+        # live primary reactor — there is no shadow to seed — but the
+        # audit replays its re-anchored shipped order, so the same
+        # fence applies: entries for this name from a previous
+        # residence in the container must not replay over the
+        # snapshot baseline installed above.
+        dst = self.database.containers[dst_cid]
+        if getattr(dst, "role", None) == ROLE_PRIMARY and \
+                hasattr(dst, "reactor_fences"):
+            dst.reactor_fences[new_reactor.name] = \
+                len(self.shipped[dst_cid])
 
     # ------------------------------------------------------------------
     # Read-replica routing
@@ -338,6 +363,24 @@ class ReplicationManager:
         if shadow is not None:
             self.stats.reads_routed_to_replicas += 1
         return shadow
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+
+    def inject_lag(self, cid: int, extra_us: float) -> None:
+        """Stall container ``cid``'s ship channel: everything shipped
+        from now on applies no earlier than ``now + extra_us``.
+
+        Models a transient network/apply hiccup.  The channel stays
+        FIFO (the spike only advances the pipe watermark), so prefix
+        consistency is preserved — what changes is the observable lag
+        window, which async-mode certification reports and sync-mode
+        commits wait out."""
+        if extra_us <= 0.0:
+            return
+        now = self.database.scheduler.now
+        self._pipe[cid] = max(self._pipe.get(cid, 0.0), now + extra_us)
 
     # ------------------------------------------------------------------
     # Failover

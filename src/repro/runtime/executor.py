@@ -427,19 +427,24 @@ class TransactionExecutor:
         except UnknownReactorError as exc:
             self._step(task, None, exc)
             return
-        # On a replica container, calls to reactors of the same primary
-        # container resolve to the local shadows (the whole read-only
-        # transaction stays on the replica's cores).  Calls that would
-        # *leave* a serving replica are refused: the replica's shadows
-        # are a consistent prefix of its own primary only, so mixing
-        # them with another container's live primary could read a torn
-        # cross-container state no validation detects.
+        # On a *serving* replica container, calls to reactors of the
+        # same primary container resolve to the local shadows (the
+        # whole read-only transaction stays on the replica's cores).
+        # Calls that would *leave* a serving replica are refused: the
+        # replica's shadows are a consistent prefix of its own primary
+        # only, so mixing them with another container's live primary
+        # could read a torn cross-container state no validation
+        # detects.  A *promoted* replica is a primary: it must resolve
+        # through the database registry like any other container, or a
+        # later migration off it would keep routing writes into the
+        # abandoned local copy.
         shadow_of = self._shadow_of
-        if shadow_of is not None:
+        if shadow_of is not None and \
+                getattr(self.container, "role", None) == "replica":
             shadow = shadow_of(call.reactor_name)
             if shadow is not None:
                 reactor = shadow
-            elif getattr(self.container, "role", None) == "replica":
+            else:
                 self._step(task, None, UserAbort(
                     f"replica-served read-only transaction cannot "
                     f"call reactor {call.reactor_name!r} outside its "

@@ -133,6 +133,34 @@ class CostParameters:
         }
         return replace(self, **fields)
 
+    def container_scaled(self, factor: float) -> "CostParameters":
+        """Scale only the costs one container pays *locally* — CPU,
+        data operations, commit work, its log device and recovery /
+        migration prices — leaving network delays
+        (``transport_delay``, the client round trip, the replication
+        ship/ack path) untouched.
+
+        This is the asymmetric-slowdown knob fault campaigns use: one
+        container runs on a slow machine while cross-container timing
+        assumptions stay comparable, which is exactly the skew that
+        shakes out hidden ordering assumptions in commit/ack paths.
+        """
+        fields = {
+            name: getattr(self, name) * factor
+            for name in (
+                "cs", "cr", "cr_ready", "executor_wake", "input_gen",
+                "read_cost", "write_cost", "insert_cost",
+                "delete_cost", "scan_row_cost", "proc_base_cost",
+                "occ_validate_per_read", "occ_install_per_write",
+                "occ_commit_base", "tpc_prepare_per_container",
+                "abort_cost", "rand_cost", "fsync_cost",
+                "recovery_load_per_row", "recovery_replay_per_entry",
+                "mig_copy_base", "mig_copy_per_row", "mig_flip_cost",
+                "mig_replay_per_txn",
+            )
+        }
+        return replace(self, **fields)
+
     def with_symmetric_communication(self) -> "CostParameters":
         """Ablation variant where receiving is as cheap as sending.
 

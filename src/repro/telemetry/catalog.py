@@ -129,6 +129,20 @@ CATALOG: dict[str, tuple[str, str]] = {
         (GAUGE, "Discrete events the simulation has dispatched."),
     "scheduler_pending_events":
         (GAUGE, "Events currently queued in the simulation heap."),
+    # Chaos campaigns (repro.chaos; campaign-level registry).
+    "chaos_episodes_total":
+        (COUNTER, "Chaos episodes run by a campaign."),
+    "chaos_episode_failures_total":
+        (COUNTER, "Episodes that failed certification or liveness."),
+    "chaos_faults_injected_total":
+        (COUNTER, "Fault actions applied (label: kind)."),
+    "chaos_faults_skipped_total":
+        (COUNTER, "Fault actions skipped — preconditions no longer "
+                  "held at fire time (label: kind)."),
+    "chaos_shrink_episodes_total":
+        (COUNTER, "Episodes re-run by the delta-debugging shrinker."),
+    "chaos_repro_files_total":
+        (COUNTER, "Minimized repro files produced by a campaign."),
 }
 
 

@@ -1,0 +1,66 @@
+"""Replay the committed chaos regression corpus.
+
+Every ``tests/chaos_seeds/*.json`` file is a minimal
+``(seed, config, schedule)`` triple minted by the campaign shrinker
+from a caught failure (see ``docs/chaos.md``).  Each one must
+
+* still reproduce its recorded failure kinds when replayed with the
+  bug toggle armed (the harness keeps catching what it caught), and
+* pass cleanly with the toggle disarmed (the schedule itself is
+  benign — the bug, not the faults, is what fails).
+
+Adding a file here pins a failure forever; the campaign CLI writes
+ready-to-commit files with ``--seeds-dir``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.chaos import EpisodeConfig, FaultSchedule, run_episode
+
+SEEDS_DIR = Path(__file__).parent / "chaos_seeds"
+SEED_FILES = sorted(SEEDS_DIR.glob("*.json"))
+
+
+def load_repro(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    assert data["schema"] == "chaos-repro-v1"
+    return data
+
+
+def test_corpus_covers_every_bug_toggle():
+    assert len(SEED_FILES) >= 3
+    armed = {load_repro(path)["config"]["inject_bug"]
+             for path in SEED_FILES}
+    assert {"ack_before_flush", "drop_shipped_record",
+            "drop_parked_roots"} <= armed
+
+
+@pytest.mark.parametrize("path", SEED_FILES,
+                         ids=[path.stem for path in SEED_FILES])
+def test_repro_replays_to_its_recorded_failure(path):
+    repro = load_repro(path)
+    config = EpisodeConfig.from_dict(repro["config"])
+    schedule = FaultSchedule.from_dict(repro["schedule"])
+    result = run_episode(config, schedule)
+    assert result.ok == repro["expected_ok"]
+    assert set(repro["failure_kinds"]) <= set(result.failure_kinds), (
+        f"{path.name}: expected {repro['failure_kinds']}, "
+        f"got {result.failure_kinds}")
+
+
+@pytest.mark.parametrize("path", SEED_FILES,
+                         ids=[path.stem for path in SEED_FILES])
+def test_repro_passes_with_the_bug_disarmed(path):
+    repro = load_repro(path)
+    config = EpisodeConfig.from_dict(repro["config"])
+    assert config.inject_bug is not None, (
+        f"{path.name}: corpus entries arm a deliberate bug toggle")
+    schedule = FaultSchedule.from_dict(repro["schedule"])
+    result = run_episode(config.without_bug(), schedule)
+    assert result.ok, (
+        f"{path.name}: clean replay failed: {result.failure_kinds}")

@@ -1,0 +1,160 @@
+"""Property tests for the chaos schedule generator and shrinker.
+
+The schedule layer is pure data — generation is a deterministic
+function of ``(seed, spec)``, serialization round-trips through JSON,
+and the shrinker only ever removes or retimes actions — so all three
+contracts are checked exhaustively with hypothesis, no simulation
+needed.
+"""
+
+from __future__ import annotations
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chaos import (
+    FAULT_KINDS,
+    FaultAction,
+    FaultSchedule,
+    ScheduleSpec,
+    generate_schedule,
+    shrink_schedule,
+)
+from repro.chaos.schedule import _applicable_kinds
+
+
+def spec_strategy():
+    return st.builds(
+        ScheduleSpec,
+        n_containers=st.integers(min_value=1, max_value=4),
+        horizon_us=st.floats(min_value=100.0, max_value=5000.0,
+                             allow_nan=False, allow_infinity=False),
+        replication=st.booleans(),
+        durability=st.booleans(),
+        migration=st.booleans(),
+        min_actions=st.integers(min_value=0, max_value=3),
+        max_actions=st.integers(min_value=3, max_value=8),
+    )
+
+
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+# ----------------------------------------------------------------------
+# Generation
+# ----------------------------------------------------------------------
+
+@settings(max_examples=100, deadline=None)
+@given(seed=seeds, spec=spec_strategy())
+def test_generation_is_deterministic_per_seed(seed, spec):
+    first = generate_schedule(seed, spec)
+    second = generate_schedule(seed, spec)
+    assert first == second
+    assert first.to_dict() == second.to_dict()
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=seeds, spec=spec_strategy())
+def test_generated_actions_respect_the_spec(seed, spec):
+    schedule = generate_schedule(seed, spec)
+    allowed = set(_applicable_kinds(spec))
+    assert allowed <= set(FAULT_KINDS)
+    assert spec.min_actions <= len(schedule.actions) \
+        <= max(spec.min_actions, spec.max_actions)
+    times = [action.at_us for action in schedule.actions]
+    assert times == sorted(times)
+    for action in schedule.actions:
+        assert action.kind in allowed
+        assert 0 < action.at_us <= 1.1 * spec.horizon_us
+
+
+@settings(max_examples=100, deadline=None)
+@given(seed=seeds, spec=spec_strategy())
+def test_schedule_round_trips_through_json(seed, spec):
+    schedule = generate_schedule(seed, spec)
+    wire = json.dumps(schedule.to_dict(), sort_keys=True)
+    back = FaultSchedule.from_dict(json.loads(wire))
+    assert back == schedule
+    # And the round-trip is a fixpoint at the byte level.
+    assert json.dumps(back.to_dict(), sort_keys=True) == wire
+
+
+def test_different_seeds_draw_different_schedules():
+    spec = ScheduleSpec(n_containers=3, horizon_us=1000.0,
+                        replication=True, durability=True)
+    schedules = {generate_schedule(seed, spec).to_dict().__repr__()
+                 for seed in range(20)}
+    assert len(schedules) > 1
+
+
+# ----------------------------------------------------------------------
+# Shrinking (synthetic predicates — no simulation)
+# ----------------------------------------------------------------------
+
+def _actions(n):
+    return [FaultAction(at_us=float(10 * (i + 1)), kind="rebalance",
+                        params=(("tag", i),))
+            for i in range(n)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(min_value=1, max_value=8),
+       culprits=st.sets(st.integers(min_value=0, max_value=7),
+                        min_size=1, max_size=3))
+def test_shrink_preserves_reproducibility_and_is_minimal(n, culprits):
+    """For a predicate 'all culprit actions present', the shrinker must
+    return exactly the culprit subset (the unique minimal repro)."""
+    culprits = {c % n for c in culprits}
+    schedule = FaultSchedule(seed=1, horizon_us=100.0,
+                             actions=tuple(_actions(n)))
+    needed = {schedule.actions[i] for i in culprits}
+
+    def reproduces(candidate: FaultSchedule) -> bool:
+        return needed <= set(candidate.actions)
+
+    result = shrink_schedule(schedule, reproduces, max_episodes=200,
+                             snap_gap_us=1000.0)
+    assert reproduces(result.schedule)
+    assert set(result.schedule.actions) == needed
+    assert result.minimal
+
+
+def test_shrink_to_empty_when_failure_is_unconditional():
+    schedule = FaultSchedule(seed=1, horizon_us=100.0,
+                             actions=tuple(_actions(4)))
+    result = shrink_schedule(schedule, lambda candidate: True,
+                             max_episodes=100)
+    assert result.schedule.actions == ()
+
+
+def test_shrink_respects_the_episode_budget():
+    schedule = FaultSchedule(seed=1, horizon_us=100.0,
+                             actions=tuple(_actions(8)))
+    calls = {"n": 0}
+
+    def reproduces(candidate: FaultSchedule) -> bool:
+        calls["n"] += 1
+        return len(candidate.actions) >= 6
+
+    result = shrink_schedule(schedule, reproduces, max_episodes=5)
+    assert calls["n"] <= 5
+    assert reproduces(result.schedule)
+
+
+@settings(max_examples=30, deadline=None)
+@given(seed=seeds)
+def test_shrunk_schedules_still_round_trip(seed):
+    spec = ScheduleSpec(n_containers=3, horizon_us=1200.0,
+                        replication=True, durability=True,
+                        min_actions=3, max_actions=6)
+    schedule = generate_schedule(seed, spec)
+    if not schedule.actions:
+        return
+    keep = schedule.actions[0]
+
+    result = shrink_schedule(
+        schedule, lambda c: keep in c.actions, max_episodes=100)
+    wire = json.dumps(result.schedule.to_dict(), sort_keys=True)
+    assert FaultSchedule.from_dict(json.loads(wire)) == result.schedule

@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Run a master-seeded chaos campaign (see ``docs/chaos.md``).
+
+Every episode derives a deployment config and a fault schedule from
+``--master-seed``, runs a workload slice on the deterministic
+simulator, and must pass every applicable certificate from
+``repro.formal.audit`` plus the campaign's liveness check.  Failing
+episodes are re-run under full tracing (Chrome trace exported to
+``--trace-dir``), shrunk by delta-debugging, and written as minimal
+repro files to ``--seeds-dir`` — promote those into
+``tests/chaos_seeds/`` to pin them as regressions.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_campaign.py \
+        --episodes 100 --master-seed 42 --json
+
+    # pipeline self-test: arm a deliberate bug, watch it get caught
+    PYTHONPATH=src python tools/chaos_campaign.py --episodes 20 \
+        --inject-bug ack_before_flush --seeds-dir /tmp/seeds
+
+The report is byte-reproducible: same arguments → identical JSON.
+Exit status: 0 when every episode passed, 1 otherwise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+if str(REPO / "src") not in sys.path:
+    sys.path.insert(0, str(REPO / "src"))
+
+from repro.chaos import BUG_TOGGLES, CampaignConfig, run_campaign  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--episodes", type=int, default=25,
+                        help="number of episodes (default 25)")
+    parser.add_argument("--master-seed", type=int, default=42,
+                        help="the one seed everything derives from")
+    parser.add_argument("--tiny", action="store_true",
+                        help="smaller episodes (CI smoke)")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full JSON report to stdout")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="also write the JSON report to this file")
+    parser.add_argument("--inject-bug", choices=BUG_TOGGLES,
+                        default=None,
+                        help="arm a deliberate bug toggle in every "
+                             "episode (pipeline self-test)")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of failures")
+    parser.add_argument("--shrink-budget", type=int, default=60,
+                        help="max episodes per shrink (default 60)")
+    parser.add_argument("--seeds-dir", type=Path, default=None,
+                        help="write minimized repro files here")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="write failing-episode Chrome traces "
+                             "here")
+    args = parser.parse_args(argv)
+
+    report = run_campaign(CampaignConfig(
+        episodes=args.episodes,
+        master_seed=args.master_seed,
+        tiny=args.tiny,
+        inject_bug=args.inject_bug,
+        shrink=not args.no_shrink,
+        shrink_budget=args.shrink_budget,
+    ))
+
+    if args.seeds_dir is not None and report.repros:
+        args.seeds_dir.mkdir(parents=True, exist_ok=True)
+        for repro in report.repros:
+            path = args.seeds_dir / f"{repro['name']}.json"
+            path.write_text(json.dumps(repro, indent=2,
+                                       sort_keys=True) + "\n")
+            print(f"repro: {path}", file=sys.stderr)
+    if args.trace_dir is not None and report.traces:
+        args.trace_dir.mkdir(parents=True, exist_ok=True)
+        for name, payload in report.traces:
+            (args.trace_dir / name).write_text(payload)
+            print(f"trace: {args.trace_dir / name}", file=sys.stderr)
+
+    payload = report.to_json()
+    if args.out is not None:
+        args.out.write_text(payload)
+    if args.json:
+        sys.stdout.write(payload)
+    else:
+        data = report.to_dict()
+        print(f"chaos campaign: {data['passed']}/{data['episodes']} "
+              f"episodes passed (master seed "
+              f"{data['master_seed']}{', tiny' if data['tiny'] else ''}"
+              f"{', bug ' + data['inject_bug'] if data['inject_bug'] else ''})")
+        for failure in data["failures"]:
+            kinds = ",".join(failure["failure_kinds"])
+            extra = ""
+            if "shrunk_actions" in failure:
+                extra = (f" (shrunk {failure['original_actions']}→"
+                         f"{failure['shrunk_actions']} actions)")
+            print(f"  episode {failure['episode']}: {kinds}{extra}")
+    return 0 if report.pass_rate == 1.0 else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
