@@ -9,12 +9,18 @@
 
 Public exports: the fork-join model (:class:`ForkJoinSpec`,
 :class:`Call`, ``predict_observable_breakdown``), calibration
-(:class:`Calibration`, ``calibrate_from_summary``) and the program
+(:class:`Calibration`, ``calibrate_from_summary``,
+:class:`MeasuredCosts`, ``fit_measured_costs``) and the program
 spec builders (``multi_transfer``, ``ycsb_multi_update``,
 ``tpcc_new_order``, ``destinations``).
 """
 
-from repro.costmodel.calibration import Calibration, calibrate_from_summary
+from repro.costmodel.calibration import (
+    Calibration,
+    MeasuredCosts,
+    calibrate_from_summary,
+    fit_measured_costs,
+)
 from repro.costmodel.model import (
     Call,
     ForkJoinSpec,
@@ -32,6 +38,8 @@ __all__ = [
     "Call",
     "predict_observable_breakdown",
     "Calibration",
+    "MeasuredCosts",
+    "fit_measured_costs",
     "calibrate_from_summary",
     "multi_transfer",
     "ycsb_multi_update",

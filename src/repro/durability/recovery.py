@@ -303,10 +303,11 @@ class DurabilityManager:
         # A cross-container commit is acknowledged only when *every*
         # participant's epoch flushed — the property that keeps acked
         # commits atomic across kill-at-arbitrary-epoch crashes.
-        joint = SimFuture(remote=False, subtxn_id=0,
-                          target_reactor="log:join")
-        remaining = {"n": len(futures)}
         scheduler = self.database.scheduler
+        future_cls = getattr(scheduler, "future_class", None) or SimFuture
+        joint = future_cls(remote=False, subtxn_id=0,
+                           target_reactor="log:join")
+        remaining = {"n": len(futures)}
 
         def one_done(fut: SimFuture) -> None:
             remaining["n"] -= 1

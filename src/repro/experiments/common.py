@@ -80,7 +80,8 @@ def tpcc_deployment(strategy: str, n_executors: int,
                     cc_scheme: str = "occ",
                     cc_enabled: bool | None = None,
                     replication: ReplicationConfig | None = None,
-                    durability: DurabilityConfig | None = None
+                    durability: DurabilityConfig | None = None,
+                    backend: str = "sim"
                     ) -> DeploymentConfig:
     """A TPC-C deployment per paper strategy name.
 
@@ -97,17 +98,19 @@ def tpcc_deployment(strategy: str, n_executors: int,
     if strategy == "shared-everything-without-affinity":
         return shared_everything_without_affinity(
             n_executors, machine=machine, cc_scheme=cc_scheme,
-            replication=replication, durability=durability)
+            replication=replication, durability=durability,
+            backend=backend)
     if strategy == "shared-everything-with-affinity":
         return shared_everything_with_affinity(
             n_executors, machine=machine, cc_scheme=cc_scheme,
-            replication=replication, durability=durability)
+            replication=replication, durability=durability,
+            backend=backend)
     if strategy in ("shared-nothing-async", "shared-nothing-sync",
                     "shared-nothing"):
         return shared_nothing(n_executors, machine=machine, mpl=mpl,
                               cc_scheme=cc_scheme,
                               replication=replication,
-                              durability=durability)
+                              durability=durability, backend=backend)
     raise ValueError(f"unknown strategy {strategy!r}")
 
 
@@ -118,7 +121,8 @@ def tpcc_database(strategy: str, n_warehouses: int,
                   cc_scheme: str = "occ",
                   cc_enabled: bool | None = None,
                   replication: ReplicationConfig | None = None,
-                  durability: DurabilityConfig | None = None
+                  durability: DurabilityConfig | None = None,
+                  backend: str = "sim"
                   ) -> ReactorDatabase:
     """Build and load a TPC-C database under one strategy.
 
@@ -127,7 +131,8 @@ def tpcc_database(strategy: str, n_warehouses: int,
     deployment = tpcc_deployment(
         strategy, n_executors or n_warehouses, machine=machine,
         mpl=mpl, cc_scheme=cc_scheme, cc_enabled=cc_enabled,
-        replication=replication, durability=durability)
+        replication=replication, durability=durability,
+        backend=backend)
     database = ReactorDatabase(deployment,
                                tpcc.declarations(n_warehouses))
     tpcc.load(database, n_warehouses, scale)

@@ -1,0 +1,112 @@
+"""Pluggable execution backends behind the reactor API.
+
+Every component of the runtime — executors, workers, the durability
+flush pipeline, replication, telemetry collectors — drives itself by
+scheduling callbacks on ``database.scheduler``.  That object is the
+*execution backend*: the thing that decides what "time" means, where
+callbacks run, and what (if anything) must be locked.  Two backends
+exist:
+
+* ``sim`` (the default, :class:`SimBackend`): the discrete-event
+  scheduler of :mod:`repro.sim.scheduler`.  Virtual microseconds,
+  one serial event loop, full determinism — the certification oracle
+  every formal audit and chaos campaign runs against.
+* ``threads`` (:class:`~repro.runtime.threads.ThreadsBackend`): one
+  OS thread per container, ``time.monotonic_ns`` clocks, lock-based
+  futures — the same deployments measured in wall-clock time on real
+  hardware (see ``docs/backends.md`` for the certify-then-measure
+  workflow).
+
+The backend *protocol* is the event-loop surface plus a handful of
+hooks, duck-typed rather than ABC-enforced so the sim hot path pays
+zero indirection:
+
+==================  ==================================================
+``now``             current time in microseconds (virtual or wall)
+``at/after/soon``   schedule a callback (returns a cancellable handle)
+``run(until=None)`` drive to quiescence; events due by ``until``
+                    (inclusive) run before the call returns
+``pending()``       live scheduled work (O(1))
+``events_dispatched``  callbacks executed so far (telemetry gauge)
+``post(cid, fn, *a)``  run ``fn`` on container ``cid``'s context
+``busy(us, fn, *a)``   occupy the calling executor's CPU for ``us``
+                    microseconds, then continue with ``fn``
+``add_waiter(fut, cb, *a, container=...)``  wake a parked task on its
+                    owning container's context when ``fut`` resolves
+``commit_guard(cids)``  context manager serializing a cross-container
+                    commit/abort against the named participants
+``state_guard()``   context manager serializing shared database
+                    bookkeeping (txn counters, snapshot pins, ...)
+``future_class``    future type the runtime allocates (``None`` means
+                    the plain single-threaded :class:`SimFuture`)
+``name``            ``"sim"`` or ``"threads"`` (stamped into bench
+                    meta blocks and telemetry exports)
+``is_virtual``      ``True`` when timestamps are simulated
+``lock``            the backend's shared-state lock (``None`` on sim)
+==================  ==================================================
+
+Deployment configs select a backend by name (``backend: sim|threads``
+in :class:`~repro.core.deployment.DeploymentConfig`);
+:func:`create_backend` maps the name to an instance during
+``ReactorDatabase.__init__``.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.errors import DeploymentError
+from repro.sim.scheduler import SimScheduler
+
+#: The backend registry: names accepted by ``DeploymentConfig.backend``.
+BACKEND_SIM = "sim"
+BACKEND_THREADS = "threads"
+
+
+def backend_names() -> tuple[str, ...]:
+    """Every backend name a deployment config may select."""
+    return (BACKEND_SIM, BACKEND_THREADS)
+
+
+class SimBackend(SimScheduler):
+    """The virtual-time execution backend (the default).
+
+    :class:`~repro.sim.scheduler.SimScheduler` already implements the
+    whole backend protocol — its hook methods are exact restatements
+    of the pre-backend call sites, so histories are byte-identical and
+    the ``harness_speed`` gate sees no new hot-path work.  This
+    subclass exists to give the default backend its protocol name in
+    the registry; constructing a plain ``SimScheduler`` remains
+    equivalent (tests and tools that predate the backend split do).
+    """
+
+    __slots__ = ()
+
+
+def create_backend(deployment: Any) -> SimScheduler:
+    """Instantiate the execution backend a deployment selects.
+
+    ``deployment`` only needs a ``backend`` attribute (absent means
+    ``sim``), so callers can pass a full ``DeploymentConfig`` or any
+    config-shaped stand-in.
+    """
+    name = getattr(deployment, "backend", BACKEND_SIM)
+    if name == BACKEND_SIM:
+        return SimBackend()
+    if name == BACKEND_THREADS:
+        from repro.runtime.threads import ThreadsBackend
+
+        return ThreadsBackend()
+    raise DeploymentError(
+        f"unknown execution backend {name!r}; expected one of "
+        f"{', '.join(backend_names())}"
+    )
+
+
+__all__ = [
+    "BACKEND_SIM",
+    "BACKEND_THREADS",
+    "SimBackend",
+    "backend_names",
+    "create_backend",
+]

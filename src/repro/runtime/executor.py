@@ -164,7 +164,7 @@ class TransactionExecutor:
     __slots__ = ("executor_id", "core_id", "container", "scheduler",
                  "costs", "mpl", "queue", "ready", "running",
                  "_dispatch_scheduled", "busy_time", "requests_served",
-                 "_shadow_of")
+                 "_shadow_of", "_cid", "_future_cls")
 
     def __init__(self, executor_id: int, core_id: int, container: Any,
                  scheduler: Any, costs: Any, mpl: int = 1) -> None:
@@ -173,7 +173,14 @@ class TransactionExecutor:
         self.executor_id = executor_id
         self.core_id = core_id
         self.container = container
+        #: The execution backend (see :mod:`repro.runtime.backend`);
+        #: the attribute keeps its historical name because the whole
+        #: runtime schedules through it.
         self.scheduler = scheduler
+        #: Backend-chosen future type (thread-safe under ``threads``).
+        self._future_cls = getattr(scheduler, "future_class", None) \
+            or SimFuture
+        self._cid = container.container_id
         self.costs = costs
         self.mpl = mpl
         self.queue: deque[Invocation] = deque()
@@ -207,9 +214,15 @@ class TransactionExecutor:
         self._kick()
 
     def _kick(self) -> None:
+        # post() targets this executor's container context: on the sim
+        # backend that is soon(); on the threads backend it routes the
+        # dispatch onto this container's worker thread even when the
+        # kick came from another thread (cross-container submit).  The
+        # _dispatch_scheduled flag is a best-effort dampener — a racy
+        # double-post only runs _dispatch twice, which is idempotent.
         if self.running is None and not self._dispatch_scheduled:
             self._dispatch_scheduled = True
-            self.scheduler.soon(self._dispatch)
+            self.scheduler.post(self._cid, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_scheduled = False
@@ -396,7 +409,10 @@ class TransactionExecutor:
         if task.invocation.subtxn_id == 0:
             task.root.charge(_BREAKDOWN[category], micros)
         if micros > 0.0:
-            self.scheduler.after(micros, fn, *args)
+            # Backend hook: a virtual sleep on sim (byte-identical to
+            # the historical after()), an inline continuation on the
+            # threads backend where real CPU work subsumes the charge.
+            self.scheduler.busy(micros, fn, *args)
         else:
             fn(*args)
 
@@ -471,8 +487,8 @@ class TransactionExecutor:
             # the routing flip, so the transaction spans the migration
             # and commits through 2PC like any cross-container one.
             subtxn_id = root.next_subtxn_id()
-            future = SimFuture(remote=True, subtxn_id=subtxn_id,
-                               target_reactor=reactor.name)
+            future = self._future_cls(remote=True, subtxn_id=subtxn_id,
+                                      target_reactor=reactor.name)
             future.birth_seq = root.effect_seq
             task.frames[-1].pending.append(future)
             root.remote_calls += 1
@@ -518,8 +534,8 @@ class TransactionExecutor:
                 f"race on reactor {reactor.name!r}"
             ))
             return
-        future = SimFuture(remote=True, subtxn_id=subtxn_id,
-                           target_reactor=reactor.name)
+        future = self._future_cls(remote=True, subtxn_id=subtxn_id,
+                                  target_reactor=reactor.name)
         future.birth_seq = root.effect_seq
         task.frames[-1].pending.append(future)
         root.remote_calls += 1
@@ -553,8 +569,8 @@ class TransactionExecutor:
 
     def _run_inline(self, task: Task, reactor: Any, call: CallEffect,
                     subtxn_id: int, entered: bool) -> None:
-        future = SimFuture(remote=False, subtxn_id=subtxn_id,
-                           target_reactor=reactor.name)
+        future = self._future_cls(remote=False, subtxn_id=subtxn_id,
+                                  target_reactor=reactor.name)
         future.birth_seq = task.root.effect_seq
         self._touch_reactor(task, reactor)
         frame = self._push_frame(task, reactor, subtxn_id, entered,
@@ -579,7 +595,11 @@ class TransactionExecutor:
             task.block_category = "sync_execution"
         else:
             task.block_category = "async_execution"
-        future.add_waiter(self._on_future_ready, task)
+        # Backend hook: under threads the resolver may live on another
+        # OS thread, so the wake-up is relayed onto this container's
+        # work queue instead of running on the resolver's thread.
+        self.scheduler.add_waiter(future, self._on_future_ready, task,
+                                  container=self._cid)
         self.running = None
         self._kick()
 
@@ -712,14 +732,31 @@ class TransactionExecutor:
             # A participant container crashed under this transaction
             # (replication failover): its writes would land in dead
             # storage, so the commit must not be reported.
-            TwoPhaseCommit(participants).abort(reason=None)
+            with self.scheduler.commit_guard(root.sessions):
+                TwoPhaseCommit(participants).abort(reason=None)
             if database.replication is not None:
                 database.replication.stats.failover_aborts += 1
             self._complete_root(task, False, "container failed", None)
             return
-        outcome = TwoPhaseCommit(participants).commit(
-            self.scheduler.now)
-        root.commit_tid = outcome.commit_tid
+        # Backend hook: a no-op guard on sim; under threads it holds
+        # the state lock plus every participant container's lock, so
+        # validate+install (and the flusher appends / replication ship
+        # it triggers) are atomic against the other containers'
+        # executing transactions.
+        with self.scheduler.commit_guard(root.sessions):
+            outcome = TwoPhaseCommit(participants).commit(
+                self.scheduler.now)
+            root.commit_tid = outcome.commit_tid
+            ack_delay = 0.0
+            if outcome.committed and database.replication is not None:
+                ack_delay = database.replication.on_commit_installed()
+            flush_wait = None
+            if outcome.committed and database.durability is not None:
+                # Group/sync durability: the commit installed, but the
+                # client may only see it once its epoch's flush lands.
+                flush_wait = database.durability.commit_ack_future(root)
+                if flush_wait is not None and flush_wait.resolved:
+                    flush_wait = None
         trace = root.trace
         if trace is not None:
             # Commit-phase markers synthesized from the engine-neutral
@@ -744,16 +781,6 @@ class TransactionExecutor:
                 trace.instant("cc:abort", now,
                               {"reason": outcome.reason},
                               parent_key="commit")
-        ack_delay = 0.0
-        if outcome.committed and database.replication is not None:
-            ack_delay = database.replication.on_commit_installed()
-        flush_wait = None
-        if outcome.committed and database.durability is not None:
-            # Group/sync durability: the commit installed, but the
-            # client may only see it once its epoch's log flush lands.
-            flush_wait = database.durability.commit_ack_future(root)
-            if flush_wait is not None and flush_wait.resolved:
-                flush_wait = None
         if ack_delay <= 0.0 and flush_wait is None:
             self._complete_root(task, outcome.committed, outcome.reason,
                                 result if outcome.committed else None)
@@ -799,7 +826,10 @@ class TransactionExecutor:
                     root.trace.close_child("flush_wait",
                                            self.scheduler.now)
                 signal_done()
-            flush_wait.add_waiter(flush_done)
+            # Relayed through the backend: the flusher resolves on the
+            # client thread, but signal_done touches this executor.
+            self.scheduler.add_waiter(flush_wait, flush_done,
+                                      container=self._cid)
 
     def _finish_deferred_commit(self, task: Task, result: Any) -> None:
         """Deferred completion of a sync-replicated or group-commit
@@ -843,7 +873,8 @@ class TransactionExecutor:
                 reason = "dangerous_structure"
             else:
                 reason = "user"
-            TwoPhaseCommit(participants).abort(reason)
+            with self.scheduler.commit_guard(root.sessions):
+                TwoPhaseCommit(participants).abort(reason)
         self._busy(task, self.costs.abort_cost, "commit",
                    self._complete_root, task, False, str(abort), None)
 
@@ -854,30 +885,36 @@ class TransactionExecutor:
         for reactor in root.reactor_refs:
             reactor.inflight_roots.discard(root.txn_id)
         database = self.container.database
-        database.telemetry.note_root_done(root, committed, reason,
-                                          self.scheduler.now)
-        if database.durability is not None:
-            # This is the acknowledgement instant: the set of commits
-            # clients saw is what crash certification holds recovery
-            # to (acked => durable for sync/group; async reports its
-            # loss window instead).
-            if committed:
-                database.durability.note_acked(root)
-            else:
-                database.durability.note_unacked(root)
-        # Release the root's pinned snapshot (if any): the storage GC
-        # watermark advances with the in-flight snapshot set, so the
-        # next install can prune versions only this root could see.
-        database.storage.unpin(root.txn_id)
-        if not committed and root.read_only:
-            database.storage.note_read_only_abort(
-                database.deployment.cc_scheme)
-        recorder = database.history_recorder
-        if recorder is not None:
-            if committed:
-                recorder.record_commit(root.txn_id)
-            else:
-                recorder.record_abort(root.txn_id)
+        # Backend hook: telemetry counters, durability ack sets, the
+        # snapshot-pin watermark and the history recorder are shared
+        # across containers — a no-op guard on sim, the state lock on
+        # the threads backend.
+        with self.scheduler.state_guard():
+            database.telemetry.note_root_done(root, committed, reason,
+                                              self.scheduler.now)
+            if database.durability is not None:
+                # This is the acknowledgement instant: the set of
+                # commits clients saw is what crash certification
+                # holds recovery to (acked => durable for sync/group;
+                # async reports its loss window instead).
+                if committed:
+                    database.durability.note_acked(root)
+                else:
+                    database.durability.note_unacked(root)
+            # Release the root's pinned snapshot (if any): the storage
+            # GC watermark advances with the in-flight snapshot set,
+            # so the next install can prune versions only this root
+            # could see.
+            database.storage.unpin(root.txn_id)
+            if not committed and root.read_only:
+                database.storage.note_read_only_abort(
+                    database.deployment.cc_scheme)
+            recorder = database.history_recorder
+            if recorder is not None:
+                if committed:
+                    recorder.record_commit(root.txn_id)
+                else:
+                    recorder.record_abort(root.txn_id)
         self._finish_task(task)
         callback = task.invocation.on_root_done
         if callback is not None:

@@ -1,0 +1,325 @@
+"""Unit tests for the ``threads`` execution backend.
+
+The integration story (same committed state as sim, certificates pass)
+lives in ``test_backend_equivalence.py``; these tests pin the backend
+primitives themselves: the registry, deployment-config validation,
+queue/timer scheduling, quiesce accounting, error propagation,
+thread-safe futures, lock guards, and the database-level intake and
+lifecycle behaviour.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import DeploymentConfig, shared_nothing
+from repro.errors import DeploymentError, SimulationError
+from repro.replication.config import ReplicationConfig
+from repro.runtime.backend import SimBackend, backend_names, create_backend
+from repro.runtime.futures import SimFuture, ThreadSafeFuture
+from repro.runtime.threads import INLINE_DELAY_US, ThreadsBackend
+from repro.sim.scheduler import SimScheduler
+from repro.workloads import smallbank as sb
+
+
+# ----------------------------------------------------------------------
+# Registry and deployment config
+# ----------------------------------------------------------------------
+
+class TestBackendRegistry:
+    def test_names(self):
+        assert backend_names() == ("sim", "threads")
+
+    def test_default_is_sim(self):
+        deployment = shared_nothing(2)
+        assert deployment.backend == "sim"
+        backend = create_backend(deployment)
+        assert isinstance(backend, SimBackend)
+        assert isinstance(backend, SimScheduler)
+        assert backend.name == "sim"
+
+    def test_threads_selected_by_name(self):
+        deployment = shared_nothing(2, backend="threads")
+        backend = create_backend(deployment)
+        assert isinstance(backend, ThreadsBackend)
+        assert backend.name == "threads"
+        assert backend.is_virtual is False
+        assert backend.future_class is ThreadSafeFuture
+
+    def test_unknown_backend_rejected_at_config(self):
+        with pytest.raises(DeploymentError, match="backend"):
+            shared_nothing(2, backend="gpu")
+
+    def test_unknown_backend_rejected_at_create(self):
+        class Stub:
+            backend = "gpu"
+        with pytest.raises(DeploymentError, match="gpu"):
+            create_backend(Stub())
+
+    def test_round_trip_preserves_backend(self):
+        deployment = shared_nothing(2, backend="threads")
+        data = deployment.to_dict()
+        assert data["backend"] == "threads"
+        restored = DeploymentConfig.from_dict(data)
+        assert restored.backend == "threads"
+        assert restored.to_dict() == data
+
+    def test_threads_plus_replication_rejected(self):
+        with pytest.raises(DeploymentError, match="replication"):
+            shared_nothing(
+                2, backend="threads",
+                replication=ReplicationConfig(
+                    replicas_per_container=1, mode="async"))
+
+
+# ----------------------------------------------------------------------
+# Scheduling, quiesce, errors
+# ----------------------------------------------------------------------
+
+@pytest.fixture
+def backend():
+    instance = ThreadsBackend()
+    instance.attach(2)
+    yield instance
+    instance.shutdown()
+
+
+class TestThreadsScheduling:
+    def test_run_requires_attach(self):
+        with pytest.raises(SimulationError, match="not attached"):
+            ThreadsBackend().run()
+
+    def test_attach_twice_rejected(self, backend):
+        with pytest.raises(SimulationError, match="already attached"):
+            backend.attach(2)
+
+    def test_post_runs_on_named_container_thread(self, backend):
+        seen = []
+        backend.post(1, lambda: seen.append(
+            threading.current_thread().name))
+        backend.run()
+        assert seen == ["repro-container-1"]
+        assert backend.pending() == 0
+        assert backend.events_dispatched >= 1
+
+    def test_short_delay_executes_inline(self, backend):
+        seen = []
+        backend.after(INLINE_DELAY_US, seen.append, "inline")
+        assert seen == ["inline"]  # before any run(): same thread
+
+    def test_long_delay_fires_via_timer(self, backend):
+        seen = []
+        backend.after(5_000.0, seen.append, "timer")
+        assert seen == []
+        backend.run()
+        assert seen == ["timer"]
+
+    def test_timer_cancel_unblocks_run(self, backend):
+        handle = backend.after(60_000_000.0, lambda: None)  # 60 s
+        assert backend.pending() == 1
+        handle.cancel()
+        assert handle.cancelled
+        backend.run()  # must not wait a minute
+        assert backend.pending() == 0
+
+    def test_run_until_ignores_later_timers(self, backend):
+        seen = []
+        handle = backend.after(60_000_000.0, seen.append, "far")
+        start = time.monotonic()
+        backend.run(until=backend.now + 20_000.0)  # 20 ms
+        elapsed = time.monotonic() - start
+        assert seen == []
+        assert elapsed < 10.0
+        handle.cancel()
+
+    def test_run_until_waits_out_the_window(self, backend):
+        start = time.monotonic()
+        backend.run(until=backend.now + 30_000.0)
+        assert time.monotonic() - start >= 0.025
+
+    def test_worker_error_reraised_from_run(self, backend):
+        def boom():
+            raise RuntimeError("worker exploded")
+        backend.post(0, boom)
+        with pytest.raises(RuntimeError, match="worker exploded"):
+            backend.run()
+        backend.run()  # error consumed; quiesced again
+
+    def test_now_is_monotonic_wall_clock(self, backend):
+        first = backend.now
+        time.sleep(0.002)
+        assert backend.now > first
+
+    def test_shutdown_idempotent(self):
+        instance = ThreadsBackend()
+        instance.attach(1)
+        instance.shutdown()
+        instance.shutdown()
+
+    def test_admit_root_bound_and_shedding(self, backend):
+        class StubExecutor:
+            queue = [None] * 3
+            ready = [None] * 2
+        backend.root_admission_bound = 6
+        assert backend.admit_root(StubExecutor()) is True
+        backend.root_admission_bound = 5
+        assert backend.admit_root(StubExecutor()) is False
+        assert backend.shed_roots == 1
+
+    def test_container_busy_and_queue_depths(self, backend):
+        backend.post(0, time.sleep, 0.002)
+        backend.run()
+        busy = backend.container_busy_us()
+        assert busy[0] >= 1_000.0
+        assert set(backend.queue_depths()) == {-1, 0, 1}
+
+
+class TestGuards:
+    def test_state_guard_excludes_other_threads(self, backend):
+        order = []
+
+        def holder():
+            with backend.state_guard():
+                order.append("enter")
+                time.sleep(0.02)
+                order.append("exit")
+
+        def contender():
+            with backend.state_guard():
+                order.append("second")
+
+        backend.post(0, holder)
+        time.sleep(0.005)
+        backend.post(1, contender)
+        backend.run()
+        assert order == ["enter", "exit", "second"]
+
+    def test_commit_guard_holds_participant_locks(self, backend):
+        witnessed = []
+
+        def committer():
+            with backend.commit_guard([1, 0, 1]):
+                witnessed.append(
+                    [lock._is_owned()  # noqa: SLF001
+                     for lock in backend._container_locks])
+
+        backend.post(0, committer)
+        backend.run()
+        assert witnessed == [[True, True]]
+
+
+# ----------------------------------------------------------------------
+# Thread-safe futures
+# ----------------------------------------------------------------------
+
+class TestThreadSafeFuture:
+    def _future(self):
+        return ThreadSafeFuture(remote=True, subtxn_id=1,
+                                target_reactor="acct")
+
+    def test_is_a_sim_future(self):
+        assert isinstance(self._future(), SimFuture)
+
+    def test_cross_thread_resolve_wakes_wait(self):
+        future = self._future()
+        thread = threading.Thread(
+            target=lambda: (time.sleep(0.01),
+                            future.resolve(41, 1.0)))
+        thread.start()
+        assert future.wait(timeout=5.0) is True
+        assert future.resolved
+        assert future.value == 41
+        thread.join()
+
+    def test_wait_times_out_when_pending(self):
+        assert self._future().wait(timeout=0.01) is False
+
+    def test_waiter_added_after_resolve_fires_immediately(self):
+        future = self._future()
+        future.resolve("v", 2.0)
+        seen = []
+        future.add_waiter(lambda fut: seen.append(fut.value))
+        assert seen == ["v"]
+
+    def test_waiter_added_before_resolve_fires_on_resolve(self):
+        future = self._future()
+        seen = []
+        future.add_waiter(lambda fut: seen.append(fut.value))
+        future.resolve("later", 3.0)
+        assert seen == ["later"]
+
+    def test_fail_propagates_error_state(self):
+        future = self._future()
+        future.fail(ValueError("nope"), 1.0)
+        assert future.wait(timeout=1.0) is True
+        assert future.failed
+        assert isinstance(future.error, ValueError)
+
+    def test_relayed_waiter_runs_on_container_thread(self, backend):
+        future = self._future()
+        seen = []
+        backend.add_waiter(
+            future,
+            lambda fut: seen.append(threading.current_thread().name),
+            container=1)
+        future.resolve("x", 0.0)
+        backend.run()
+        assert seen == ["repro-container-1"]
+
+
+# ----------------------------------------------------------------------
+# Database-level behaviour
+# ----------------------------------------------------------------------
+
+class TestDatabaseOnThreads:
+    def _database(self, **kwargs):
+        deployment = shared_nothing(2, backend="threads", **kwargs)
+        database = ReactorDatabase(deployment, sb.declarations(4))
+        sb.load(database, 4)
+        return database
+
+    def test_backend_name_and_close_idempotent(self):
+        database = self._database()
+        assert database.backend_name == "threads"
+        assert isinstance(database.scheduler, ThreadsBackend)
+        database.close()
+        database.close()
+
+    def test_migration_requires_sim(self):
+        database = self._database()
+        try:
+            with pytest.raises(DeploymentError, match="sim"):
+                database.migrate(sb.reactor_name(0), 1)
+            with pytest.raises(DeploymentError, match="sim"):
+                database.rebalance()
+        finally:
+            database.close()
+
+    def test_backpressure_refusal_path(self):
+        database = self._database()
+        try:
+            database.scheduler.root_admission_bound = 0
+            outcomes = []
+
+            def on_done(root, committed, reason, result):
+                outcomes.append((committed, reason))
+
+            root = database.submit(sb.reactor_name(0), "balance",
+                                   on_done=on_done)
+            database.scheduler.run()
+            assert root.finished
+            assert outcomes == [(False, outcomes[0][1])]
+            assert "backpressure" in outcomes[0][1]
+            assert database.scheduler.shed_roots == 1
+        finally:
+            database.close()
+
+    def test_explicit_scheduler_overrides_config(self):
+        deployment = shared_nothing(2, backend="threads")
+        database = ReactorDatabase(deployment, sb.declarations(4),
+                                   scheduler=SimScheduler())
+        assert database.backend_name == "sim"

@@ -136,3 +136,83 @@ class TestSimScheduler:
             scheduler.soon(lambda: None)
         scheduler.run()
         assert scheduler.events_dispatched == 5
+
+
+class TestRunUntilBoundary:
+    """run(until=...) quiesce contract: events stamped exactly *at*
+    ``until`` run before the call returns (regression: they used to
+    be skipped when their timestamp drifted a float ulp past it)."""
+
+    def test_event_exactly_at_until_runs(self):
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.at(5.0, seen.append, "at-boundary")
+        scheduler.at(5.0 + 1e-6, seen.append, "beyond")
+        scheduler.run(until=5.0)
+        assert seen == ["at-boundary"]
+        assert scheduler.now == 5.0
+        assert scheduler.pending() == 1
+
+    def test_chain_scheduled_at_until_runs(self):
+        # An at-boundary event scheduling another soon() at the same
+        # timestamp: the whole same-time chain belongs to the window.
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.at(5.0, lambda: scheduler.soon(seen.append, "chain"))
+        scheduler.run(until=5.0)
+        assert seen == ["chain"]
+
+    def test_float_drift_within_tolerance_runs(self):
+        # after(0.1 + 0.2) lands at 0.30000000000000004; run(until=0.3)
+        # must still dispatch it — the same 1e-9 slack at() applies to
+        # past timestamps applies at the until boundary.
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.after(0.1 + 0.2, seen.append, "drifted")
+        scheduler.run(until=0.3)
+        assert seen == ["drifted"]
+
+    def test_event_beyond_tolerance_stays_queued(self):
+        scheduler = SimScheduler()
+        seen = []
+        scheduler.at(5.0 + 1e-6, seen.append, "late")
+        scheduler.run(until=5.0)
+        assert seen == []
+        assert scheduler.pending() == 1
+
+
+class TestBackendHooks:
+    """SimScheduler's execution-backend surface (repro.runtime.backend)
+    restates the pre-backend behaviour exactly."""
+
+    def test_identity_attrs(self):
+        scheduler = SimScheduler()
+        assert scheduler.name == "sim"
+        assert scheduler.is_virtual is True
+        assert scheduler.lock is None
+        assert scheduler.future_class is None
+
+    def test_post_matches_soon(self):
+        scheduler = SimScheduler()
+        order = []
+        scheduler.soon(order.append, "a")
+        scheduler.post(3, order.append, "b")
+        scheduler.soon(order.append, "c")
+        scheduler.run()
+        assert order == ["a", "b", "c"]
+
+    def test_busy_advances_virtual_time(self):
+        scheduler = SimScheduler()
+        times = []
+        scheduler.busy(7.5, lambda: times.append(scheduler.now))
+        scheduler.run()
+        assert times == [7.5]
+
+    def test_guards_are_noop_context_managers(self):
+        scheduler = SimScheduler()
+        with scheduler.state_guard():
+            with scheduler.commit_guard([0, 1]):
+                pass
+
+    def test_admit_root_always_true(self):
+        assert SimScheduler().admit_root(object()) is True

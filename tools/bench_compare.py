@@ -60,7 +60,7 @@ DEFAULT_BASELINE = DEFAULT_CURRENT / "baselines"
 ID_KEYS = (
     "workload", "mode", "scheme", "cc_scheme", "skew", "placement",
     "read_from_replicas", "flush_interval_us", "checkpoint_every",
-    "phase", "label", "variant",
+    "phase", "label", "variant", "backend", "containers",
 )
 #: Default gated metric (lower is worse); a payload's ``"gate"``
 #: block overrides it.
