@@ -1,0 +1,31 @@
+"""The client package: one submission surface, embedded or remote.
+
+:class:`Client` is the protocol; :class:`LocalClient` wraps
+``db.submit`` in-process (zero overhead, the embedded path stays
+public), :class:`TcpClient` speaks the :mod:`repro.serving` wire
+protocol to a served database.  :func:`as_client` normalizes a bare
+:class:`~repro.core.database.ReactorDatabase` into a
+:class:`LocalClient`, which is how the bench harness and experiments
+accept either.
+"""
+
+from repro.client.base import (
+    Client,
+    Outcome,
+    Spec,
+    Submission,
+    as_client,
+)
+from repro.client.local import LocalClient
+from repro.client.tcp import ClientSession, TcpClient
+
+__all__ = [
+    "Client",
+    "ClientSession",
+    "LocalClient",
+    "Outcome",
+    "Spec",
+    "Submission",
+    "TcpClient",
+    "as_client",
+]

@@ -1,0 +1,265 @@
+"""The wire path: a synchronous Client speaking the serving protocol.
+
+A :class:`TcpClient` owns a background event-loop thread holding one
+TCP connection.  ``connect()`` performs the JSON hello exchange and
+switches to the negotiated codec; ``submit()`` is callable from any
+thread, returns immediately with a :class:`Submission`, and the reader
+task resolves submissions as responses arrive — in whatever order the
+server completes them, matched by ``(session, request id)``.
+
+Sessions are logical: :meth:`TcpClient.session` mints a new session id
+multiplexed over the same connection; a session's requests carry its
+id and nothing else distinguishes them on the wire.  A server shed
+resolves the submission with an ``overloaded`` outcome whose
+``retry_after_us`` carries the server's backoff hint —
+``Submission.result()`` raises the typed
+:class:`~repro.serving.protocol.Overloaded` for it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Callable, Iterable
+
+from repro.client.base import Outcome, Spec, Submission
+from repro.serving import protocol
+
+
+class TcpClient:
+    """Client for a served database (see module docstring)."""
+
+    def __init__(self, host: str, port: int,
+                 codecs: tuple[str, ...] | None = None,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._offered = codecs or protocol.available_codecs()
+        #: Negotiated after connect().
+        self.codec: str | None = None
+        self.protocol_version: int | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._ready = threading.Event()
+        self._connect_error: BaseException | None = None
+        self._lock = threading.Lock()
+        self._next_request = 0
+        self._next_session = 1
+        self._pending: dict[tuple[int, int], Submission] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Client protocol
+    # ------------------------------------------------------------------
+
+    def connect(self) -> "TcpClient":
+        if self._thread is not None:
+            return self
+        self._thread = threading.Thread(
+            target=self._run, name="repro-tcp-client", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(self.timeout):
+            raise ConnectionError(
+                f"connect to {self.host}:{self.port} timed out")
+        if self._connect_error is not None:
+            raise self._connect_error
+        return self
+
+    def submit(self, reactor: str, proc: str, *args: Any,
+               read_only: bool | None = None,
+               on_done: Callable[[Outcome], None] | None = None,
+               session: int = 0) -> Submission:
+        if self._writer is None:
+            raise ConnectionError("client is not connected")
+        submission = Submission()
+        if on_done is not None:
+            submission.add_done_callback(on_done)
+        with self._lock:
+            if self._closed:
+                raise ConnectionError("client is closed")
+            self._next_request += 1
+            request_id = self._next_request
+            self._pending[(session, request_id)] = submission
+        frame = protocol.encode_frame(
+            protocol.request(request_id, session, reactor, proc,
+                             tuple(args), read_only=read_only),
+            self.codec)
+        self._loop.call_soon_threadsafe(self._write, frame)
+        return submission
+
+    def submit_many(self, specs: Iterable[Spec],
+                    read_only: bool | None = None,
+                    session: int = 0) -> list[Submission]:
+        return [self.submit(reactor, proc, *args,
+                            read_only=read_only, session=session)
+                for reactor, proc, args in specs]
+
+    def call(self, reactor: str, proc: str, *args: Any,
+             read_only: bool | None = None, session: int = 0) -> Any:
+        """Synchronous round trip: submit, wait, unwrap."""
+        return self.submit(reactor, proc, *args, read_only=read_only,
+                           session=session).result(self.timeout)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        loop, thread = self._loop, self._thread
+        if loop is not None and not loop.is_closed():
+            loop.call_soon_threadsafe(self._shutdown)
+        if thread is not None:
+            thread.join(timeout=self.timeout)
+
+    # ------------------------------------------------------------------
+    # Sessions
+    # ------------------------------------------------------------------
+
+    def session(self) -> "ClientSession":
+        """A new logical session multiplexed over this connection."""
+        with self._lock:
+            session_id = self._next_session
+            self._next_session += 1
+        return ClientSession(self, session_id)
+
+    # ------------------------------------------------------------------
+    # Event-loop internals
+    # ------------------------------------------------------------------
+
+    def _run(self) -> None:
+        asyncio.run(self._main())
+
+    async def _main(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        try:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port)
+            self._writer = writer
+            writer.write(protocol.encode_frame(
+                protocol.hello(codecs=self._offered), "json"))
+            await writer.drain()
+            decoder = protocol.FrameDecoder("json")
+            opener = None
+            while opener is None:
+                data = await reader.read(65536)
+                if not data:
+                    raise ConnectionError(
+                        "server closed during handshake")
+                messages = decoder.feed(data)
+                if messages:
+                    opener = messages[0]
+            if opener.get("type") == "hello_error":
+                raise protocol.WireProtocolError(
+                    f"negotiation failed: {opener.get('detail')}")
+            if opener.get("type") != "hello_ok":
+                raise protocol.WireProtocolError(
+                    f"expected hello_ok, got {opener.get('type')!r}")
+            self.codec = opener["codec"]
+            self.protocol_version = opener["version"]
+        except BaseException as error:  # noqa: BLE001
+            self._connect_error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        # Any bytes behind the server's hello_ok already belong to the
+        # negotiated stream.
+        stream_decoder = protocol.FrameDecoder(self.codec)
+        leftover = bytes(decoder._buffer)
+        try:
+            if leftover:
+                for message in stream_decoder.feed(leftover):
+                    self._dispatch(message)
+            while True:
+                data = await reader.read(65536)
+                if not data:
+                    stream_decoder.check_eof()
+                    break
+                for message in stream_decoder.feed(data):
+                    self._dispatch(message)
+        except (ConnectionError, protocol.WireProtocolError) as error:
+            self._fail_pending(str(error))
+        else:
+            self._fail_pending("connection closed by server")
+        finally:
+            writer.close()
+
+    def _write(self, frame: bytes) -> None:
+        writer = self._writer
+        if writer is not None and not writer.is_closing():
+            writer.write(frame)
+
+    def _shutdown(self) -> None:
+        writer = self._writer
+        if writer is not None and not writer.is_closing():
+            try:
+                writer.write(protocol.encode_frame(
+                    protocol.goodbye(), self.codec or "json"))
+            except protocol.WireProtocolError:  # pragma: no cover
+                pass
+            writer.close()
+
+    def _dispatch(self, message: Any) -> None:
+        if not isinstance(message, dict):
+            return
+        mtype = message.get("type")
+        if mtype == "response":
+            outcome = Outcome(
+                bool(message.get("committed")),
+                reason=message.get("reason"),
+                result=message.get("result"))
+        elif mtype == "error":
+            outcome = Outcome(
+                False,
+                reason=message.get("detail"),
+                error_code=message.get("code"),
+                retry_after_us=float(
+                    message.get("retry_after_us") or 0.0))
+        else:
+            return
+        key = (message.get("session"), message.get("id"))
+        with self._lock:
+            submission = self._pending.pop(key, None)
+        if submission is not None:
+            submission.resolve(outcome)
+
+    def _fail_pending(self, reason: str) -> None:
+        with self._lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for submission in pending:
+            submission.resolve(Outcome(False, reason=reason,
+                                       error_code="connection"))
+
+
+class ClientSession:
+    """One logical session: the same client, a fixed session id."""
+
+    __slots__ = ("client", "session_id")
+
+    def __init__(self, client: TcpClient, session_id: int) -> None:
+        self.client = client
+        self.session_id = session_id
+
+    def submit(self, reactor: str, proc: str, *args: Any,
+               read_only: bool | None = None,
+               on_done: Callable[[Outcome], None] | None = None
+               ) -> Submission:
+        return self.client.submit(reactor, proc, *args,
+                                  read_only=read_only, on_done=on_done,
+                                  session=self.session_id)
+
+    def submit_many(self, specs: Iterable[Spec],
+                    read_only: bool | None = None) -> list[Submission]:
+        return self.client.submit_many(specs, read_only=read_only,
+                                       session=self.session_id)
+
+    def call(self, reactor: str, proc: str, *args: Any,
+             read_only: bool | None = None) -> Any:
+        return self.client.call(reactor, proc, *args,
+                                read_only=read_only,
+                                session=self.session_id)
+
+
+__all__ = ["ClientSession", "TcpClient"]

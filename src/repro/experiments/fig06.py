@@ -21,7 +21,7 @@ from repro.costmodel import (
     predict_observable_breakdown,
 )
 from repro.experiments.common import (
-    smallbank_database,
+    smallbank_client,
     spread_destinations,
 )
 from repro.workloads import smallbank
@@ -39,11 +39,11 @@ class BreakdownRow:
 
 def _observe(variant: str, size: int, n_txns: int,
              customers_per_container: int):
-    database = smallbank_database(customers_per_container)
+    client = smallbank_client(customers_per_container)
     src = smallbank.reactor_name(0)
     dsts = spread_destinations(size, customers_per_container)
     spec = smallbank.multi_transfer_spec(variant, src, dsts)
-    result = single_worker_latency(database, lambda worker: spec,
+    result = single_worker_latency(client, lambda worker: spec,
                                    n_txns=n_txns)
     summary = result.summary
     observed = dict(summary.breakdown)

@@ -1,0 +1,54 @@
+"""The networked serving layer: clients on the other side of a wire.
+
+Everything below this package fronts a
+:class:`~repro.core.database.ReactorDatabase` to *remote* clients over
+asyncio TCP, so transactions originate outside the process — the
+black-box setting the snapshot-isolation checking literature assumes,
+and the boundary ROADMAP item 1 asks for on the path to "millions of
+clients".
+
+* :mod:`repro.serving.protocol` — length-prefixed frames, typed
+  request/response/error messages, version + codec negotiation
+  (msgpack when available, JSON always);
+* :mod:`repro.serving.server` — the asyncio TCP server: session
+  multiplexing (many logical sessions per connection, out-of-order
+  responses matched by request id) and wire-level admission control
+  (bounded in-flight requests; excess load is shed with a typed
+  ``overloaded`` response carrying a retry-after hint, never parked
+  unboundedly);
+* :mod:`repro.serving.loadgen` — the open-loop load generator:
+  Poisson/fixed-rate arrival schedules with coordinated-omission-aware
+  latency recording (latency measured from *intended* send time).
+
+The client half of the wire lives in :mod:`repro.client`
+(:class:`~repro.client.TcpClient`); see ``docs/serving.md`` for the
+protocol spec and methodology notes.
+"""
+
+from repro.serving.loadgen import (
+    ArrivalSchedule,
+    OpenLoopResult,
+    run_open_loop,
+)
+from repro.serving.protocol import (
+    PROTOCOL_VERSION,
+    FrameDecoder,
+    Overloaded,
+    TornFrameError,
+    WireProtocolError,
+)
+from repro.serving.server import ReactorServer, ServerThread, serve_in_thread
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ArrivalSchedule",
+    "FrameDecoder",
+    "OpenLoopResult",
+    "Overloaded",
+    "ReactorServer",
+    "ServerThread",
+    "TornFrameError",
+    "WireProtocolError",
+    "run_open_loop",
+    "serve_in_thread",
+]

@@ -129,6 +129,21 @@ CATALOG: dict[str, tuple[str, str]] = {
         (GAUGE, "Discrete events the simulation has dispatched."),
     "scheduler_pending_events":
         (GAUGE, "Events currently queued in the simulation heap."),
+    # Networked serving layer (repro.serving).
+    "serving_accepted_total":
+        (COUNTER, "Wire requests admitted and submitted."),
+    "serving_shed_total":
+        (COUNTER, "Wire requests shed by admission control "
+                  "(answered with a typed overloaded error)."),
+    "serving_inflight":
+        (GAUGE, "Requests admitted but not yet answered."),
+    "serving_connections_total":
+        (COUNTER, "TCP connections accepted by the server."),
+    "serving_sessions_total":
+        (COUNTER, "Distinct logical sessions seen on connections."),
+    "serving_wire_latency_us":
+        (HISTOGRAM, "Receive-to-response wall latency of served "
+                    "requests (microseconds)."),
     # Chaos campaigns (repro.chaos; campaign-level registry).
     "chaos_episodes_total":
         (COUNTER, "Chaos episodes run by a campaign."),

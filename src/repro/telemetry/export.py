@@ -22,6 +22,7 @@ from repro.telemetry.spans import (
     TRACK_LOG,
     TRACK_MIGRATION,
     TRACK_REPLICATION,
+    TRACK_SERVING,
     TRACK_TXN,
     Tracer,
 )
@@ -32,6 +33,7 @@ TRACK_PIDS = {
     TRACK_LOG: 2,
     TRACK_REPLICATION: 3,
     TRACK_MIGRATION: 4,
+    TRACK_SERVING: 5,
 }
 
 TRACK_LABELS = {
@@ -39,6 +41,7 @@ TRACK_LABELS = {
     TRACK_LOG: "log devices",
     TRACK_REPLICATION: "replication",
     TRACK_MIGRATION: "migration",
+    TRACK_SERVING: "serving",
 }
 
 

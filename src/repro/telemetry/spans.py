@@ -28,6 +28,7 @@ TRACK_TXN = "txn"
 TRACK_LOG = "log"
 TRACK_REPLICATION = "replication"
 TRACK_MIGRATION = "migration"
+TRACK_SERVING = "serving"
 
 
 class Span:
@@ -165,4 +166,4 @@ class TraceHandle:
 
 
 __all__ = ["Span", "Tracer", "TraceHandle", "TRACK_TXN", "TRACK_LOG",
-           "TRACK_REPLICATION", "TRACK_MIGRATION"]
+           "TRACK_REPLICATION", "TRACK_MIGRATION", "TRACK_SERVING"]

@@ -25,6 +25,12 @@ N_CUSTOMERS = 8
 N_CONTAINERS = 2
 N_KEYS = 16
 MAX_RETRIES = 200
+#: Resubmit backoff per attempt.  Must exceed the threads backend's
+#: inline-execution window (INLINE_DELAY_US): an immediate NO_WAIT
+#: retry re-runs on the aborting thread and can re-hit the very lock
+#: that refused it for the whole retry budget; deferring through the
+#: timer lets the holder finish first.
+RETRY_BACKOFF_US = 100.0
 
 
 def _run_to_commit(database, ops):
@@ -45,8 +51,12 @@ def _run_to_commit(database, ops):
                 return
             assert tries > 0, f"op {op} aborted too often: {reason}"
             reactor, proc, args = op
-            database.submit(reactor, proc, *args,
-                            on_done=make_on_done(op, tries - 1))
+            attempt = MAX_RETRIES - tries + 1
+            database.scheduler.after(
+                RETRY_BACKOFF_US * attempt,
+                lambda: database.submit(
+                    reactor, proc, *args,
+                    on_done=make_on_done(op, tries - 1)))
         return on_done
 
     for op in ops:

@@ -61,6 +61,22 @@ class TestRowIdentity:
         assert "throughput" not in key
         assert "fsyncs" not in key
 
+    def test_arrival_rate_identifies_serving_rows(self):
+        """Open-loop serving rows at different arrival rates are
+        distinct baseline entries, not one clobbered key."""
+        low = {"workload": "smallbank", "phase": "open_loop",
+               "arrival_rate": 100.0, "throughput_tps": 99.0}
+        high = {**low, "arrival_rate": 400.0}
+        assert "arrival_rate=100.0" in bench_compare.row_key(low)
+        assert bench_compare.row_key(low) != \
+            bench_compare.row_key(high)
+
+    def test_latency_percentiles_are_report_only_context(self):
+        for metric in ("p50_us", "p99_us", "p999_us"):
+            assert metric in bench_compare.REPORT_METRICS
+        assert bench_compare.GATE_METRIC not in \
+            bench_compare.REPORT_METRICS
+
     def test_counter_drift_does_not_vanish_rows(self, dirs):
         baseline, current = dirs
         write(baseline, "demo", payload())

@@ -1,0 +1,132 @@
+"""The unified Client surface: LocalClient, as_client, submissions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import (
+    Client,
+    LocalClient,
+    Outcome,
+    Submission,
+    TcpClient,
+    as_client,
+)
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import RangePlacement, shared_nothing
+from repro.errors import TransactionAbort
+from repro.serving.protocol import Overloaded
+from repro.workloads import smallbank as sb
+
+N_CUSTOMERS = 4
+
+
+@pytest.fixture
+def database():
+    deployment = shared_nothing(2, mpl=4,
+                                placement=RangePlacement(2))
+    db = ReactorDatabase(deployment, sb.declarations(N_CUSTOMERS))
+    sb.load(db, N_CUSTOMERS)
+    yield db
+    db.close()
+
+
+def test_as_client_wraps_database(database):
+    client = as_client(database)
+    assert isinstance(client, LocalClient)
+    assert client.database is database
+    # Idempotent: a client passes through unchanged.
+    assert as_client(client) is client
+
+
+def test_both_implementations_satisfy_protocol(database):
+    assert isinstance(LocalClient(database), Client)
+    assert isinstance(TcpClient("127.0.0.1", 1), Client)
+
+
+def test_local_submit_resolves_on_drain(database):
+    client = LocalClient(database).connect()
+    sub = client.submit(sb.reactor_name(0), "deposit_checking", 10.0)
+    assert not sub.done
+    client.drain()
+    assert sub.done and sub.outcome.committed
+    client.close()  # borrows the database: close is a no-op
+    assert client.call(sb.reactor_name(0), "balance",
+                       read_only=True) is not None
+
+
+def test_local_submit_many(database):
+    client = LocalClient(database)
+    subs = client.submit_many(
+        [(sb.reactor_name(i % N_CUSTOMERS), "transact_saving",
+          (float(i),)) for i in range(8)])
+    client.drain()
+    assert all(s.outcome.committed for s in subs)
+
+
+def test_local_abort_surfaces_reason(database):
+    client = LocalClient(database)
+    # Debiting far more than the savings balance aborts in-procedure.
+    sub = client.submit(sb.reactor_name(0), "transact_saving",
+                        -1_000_000.0)
+    client.drain()
+    outcome = sub.outcome
+    assert not outcome.committed
+    assert "insufficient savings" in outcome.reason
+    assert not outcome.shed
+    with pytest.raises(TransactionAbort):
+        outcome.unwrap()
+
+
+def test_on_done_callback_runs_at_resolution(database):
+    client = LocalClient(database)
+    seen = []
+    client.submit(sb.reactor_name(1), "deposit_checking", 5.0,
+                  on_done=seen.append)
+    assert not seen
+    client.drain()
+    assert len(seen) == 1 and seen[0].committed
+
+
+def test_submission_wait_times_out():
+    with pytest.raises(TimeoutError):
+        Submission().wait(timeout=0.01)
+
+
+def test_submission_resolves_exactly_once():
+    sub = Submission()
+    first = Outcome(True, result=1)
+    sub.resolve(first)
+    sub.resolve(Outcome(False, reason="late"))
+    assert sub.outcome is first
+
+
+def test_late_callback_fires_immediately():
+    sub = Submission()
+    sub.resolve(Outcome(True))
+    seen = []
+    sub.add_done_callback(seen.append)
+    assert seen == [sub.outcome]
+
+
+def test_shed_outcome_unwraps_to_overloaded():
+    outcome = Outcome(False, reason="admission bound reached",
+                      error_code="overloaded", retry_after_us=1500.0)
+    assert outcome.shed
+    with pytest.raises(Overloaded) as info:
+        outcome.unwrap()
+    assert info.value.retry_after_us == 1500.0
+
+
+def test_harness_accepts_client(database):
+    """run_measurement takes a Client (the migrated signature) and
+    produces the same kind of summary it did for a bare database."""
+    from repro.bench.harness import run_measurement
+
+    client = LocalClient(database)
+    spec = (sb.reactor_name(0), "transact_saving", (1.0,))
+    result = run_measurement(client, n_workers=2,
+                             txn_factory_for=lambda i: lambda w: spec,
+                             warmup_us=5_000.0, measure_us=20_000.0,
+                             n_epochs=2)
+    assert result.summary.throughput_tps > 0

@@ -41,6 +41,12 @@ def test_deployment_tuning():
     assert "shared-nothing" in out
 
 
+def test_serve_and_connect():
+    out = run_example("serve_and_connect.py")
+    assert "negotiated protocol v1" in out
+    assert "typed shed: retry after" in out
+
+
 def test_static_safety_check():
     out = run_example("static_safety_check.py")
     assert "[cycle] ping -> pong" in out

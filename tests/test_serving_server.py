@@ -1,0 +1,302 @@
+"""The served path end to end: server, TcpClient, equivalence.
+
+The headline property (ISSUE 10 acceptance): the same seeded workload
+submitted through a ``LocalClient`` (embedded) and a ``TcpClient``
+(served over real TCP) commits to identical state, and ``certify_all``
+passes on both paths — the wire boundary changes *where* transactions
+originate, not what they do.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+
+import pytest
+
+from repro.client import LocalClient, TcpClient
+from repro.core.database import ReactorDatabase
+from repro.core.deployment import RangePlacement, shared_nothing
+from repro.formal.audit import attach_recorder, certify_all
+from repro.serving import protocol, serve_in_thread
+from repro.serving.protocol import Overloaded
+from repro.workloads import smallbank as sb
+
+N_CUSTOMERS = 8
+N_CONTAINERS = 2
+MAX_RETRIES = 50
+
+
+def make_database(backend: str = "sim") -> ReactorDatabase:
+    deployment = shared_nothing(
+        N_CONTAINERS, mpl=4, cc_scheme="occ",
+        placement=RangePlacement(N_CUSTOMERS // N_CONTAINERS),
+        backend=backend)
+    database = ReactorDatabase(deployment, sb.declarations(N_CUSTOMERS))
+    sb.load(database, N_CUSTOMERS)
+    return database
+
+
+def seeded_ops() -> list[tuple[str, str, tuple]]:
+    """A deterministic op list with order-independent final state:
+    commutative per-account sums plus cross-container transfers."""
+    ops = []
+    for i in range(40):
+        cust = sb.reactor_name(i % N_CUSTOMERS)
+        if i % 3 == 0:
+            ops.append((cust, "transact_saving", (10.0 + i,)))
+        elif i % 3 == 1:
+            ops.append((cust, "deposit_checking", (5.0 + i,)))
+        else:
+            other = sb.reactor_name((i + 3) % N_CUSTOMERS)
+            ops.append(sb.multi_transfer_spec(
+                "fully-async", cust, [other], 2.0))
+    return ops
+
+
+def run_to_commit(client, ops):
+    """Drive every op to a committed conclusion through a Client,
+    resubmitting on abort (and on shed) — same contract as the
+    backend-equivalence suite, expressed against the Client surface."""
+    done = []
+
+    def submit(op, tries=MAX_RETRIES):
+        def on_done(outcome):
+            if outcome.committed:
+                done.append(op)
+                return
+            assert tries > 0, \
+                f"op {op} failed too often: {outcome.reason}"
+            submit(op, tries - 1)
+        reactor, proc, args = op
+        client.submit(reactor, proc, *args, on_done=on_done)
+
+    for op in ops:
+        submit(op)
+    if hasattr(client, "drain"):
+        client.drain()
+    else:
+        deadline_ops = len(ops)
+        import time
+        for _ in range(2000):
+            if len(done) >= deadline_ops:
+                break
+            time.sleep(0.005)
+    assert len(done) == len(ops)
+
+
+def committed_state(database):
+    return {
+        name: {
+            table: sorted(
+                (tuple(sorted(row.items()))
+                 for row in database.table_rows(name, table)))
+            for table in ("savings", "checking")
+        }
+        for name in database.reactor_names()
+    }
+
+
+def test_local_vs_served_equivalence():
+    """Same seeded ops, embedded vs over-the-wire: identical committed
+    state, certify_all green on both."""
+    ops = seeded_ops()
+
+    local_db = make_database()
+    attach_recorder(local_db)
+    run_to_commit(LocalClient(local_db), ops)
+    local_state = committed_state(local_db)
+    local_cert = certify_all(local_db)
+    local_total = sb.total_money(local_db, N_CUSTOMERS)
+    local_db.close()
+
+    served_db = make_database()
+    attach_recorder(served_db)
+    server = serve_in_thread(served_db)
+    client = TcpClient(server.host, server.port).connect()
+    run_to_commit(client, ops)
+    client.close()
+    server.stop()
+    served_state = committed_state(served_db)
+    served_cert = certify_all(served_db)
+    served_total = sb.total_money(served_db, N_CUSTOMERS)
+    served_db.close()
+
+    assert local_cert["ok"], local_cert["failures"]
+    assert served_cert["ok"], served_cert["failures"]
+    assert served_total == pytest.approx(local_total)
+    assert served_state == local_state
+
+
+def test_served_threads_backend_smoke():
+    """The server fronts the wall-clock threads backend natively (no
+    pump): a round trip commits and is visible."""
+    database = make_database(backend="threads")
+    server = serve_in_thread(database)
+    client = TcpClient(server.host, server.port).connect()
+    try:
+        sub = client.submit(sb.reactor_name(0), "deposit_checking",
+                            7.5)
+        assert sub.wait(10.0).committed
+    finally:
+        client.close()
+        server.stop()
+        database.close()
+
+
+def test_session_multiplexing_out_of_order():
+    """Many logical sessions share one connection; responses match by
+    (session, id) even when submitted interleaved."""
+    database = make_database()
+    server = serve_in_thread(database)
+    client = TcpClient(server.host, server.port).connect()
+    try:
+        sessions = [client.session() for _ in range(4)]
+        subs = []
+        for i in range(24):
+            session = sessions[i % 4]
+            subs.append((i, session.submit(
+                sb.reactor_name(i % N_CUSTOMERS), "deposit_checking",
+                float(i))))
+        for i, sub in subs:
+            outcome = sub.wait(10.0)
+            assert outcome.committed, (i, outcome.reason)
+    finally:
+        client.close()
+        server.stop()
+        database.close()
+
+
+def test_overload_shed_is_typed_with_retry_hint():
+    """Past the admission bound, requests are refused with a typed
+    overloaded error carrying a positive retry-after hint — and the
+    admitted ones still commit."""
+    database = make_database()
+    server = serve_in_thread(database, max_inflight=4)
+    client = TcpClient(server.host, server.port).connect()
+    try:
+        subs = client.submit_many(
+            [(sb.reactor_name(i % N_CUSTOMERS), "transact_saving",
+              (1.0,)) for i in range(48)])
+        outcomes = [s.wait(10.0) for s in subs]
+        shed = [o for o in outcomes if o.shed]
+        committed = [o for o in outcomes if o.committed]
+        assert committed, "nothing was admitted"
+        assert shed, "a 48-burst against max_inflight=4 must shed"
+        assert all(o.retry_after_us > 0 for o in shed)
+        with pytest.raises(Overloaded):
+            shed[0].unwrap()
+    finally:
+        client.close()
+        server.stop()
+        database.close()
+
+
+def test_serving_metrics_registered():
+    """Accepted/shed counters and the inflight gauge appear in the
+    telemetry snapshot after a served burst."""
+    database = make_database()
+    if not database.telemetry.enabled:
+        pytest.skip("telemetry disabled in this configuration")
+    server = serve_in_thread(database, max_inflight=4)
+    client = TcpClient(server.host, server.port).connect()
+    try:
+        subs = client.submit_many(
+            [(sb.reactor_name(i % N_CUSTOMERS), "transact_saving",
+              (1.0,)) for i in range(32)])
+        for sub in subs:
+            sub.wait(10.0)
+    finally:
+        client.close()
+        server.stop()
+    snapshot = database.telemetry.metrics_snapshot()
+    assert snapshot["serving_accepted_total"] > 0
+    assert snapshot["serving_shed_total"] > 0
+    assert snapshot["serving_connections_total"] >= 1
+    assert snapshot["serving_inflight"] == 0  # all drained
+    database.close()
+
+
+# ----------------------------------------------------------------------
+# Raw-socket behaviors a well-behaved TcpClient never triggers.
+# ----------------------------------------------------------------------
+
+def _recv_frame(sock: socket.socket) -> dict:
+    header = b""
+    while len(header) < 4:
+        header += sock.recv(4 - len(header))
+    (length,) = struct.unpack(">I", header)
+    payload = b""
+    while len(payload) < length:
+        payload += sock.recv(length - len(payload))
+    return json.loads(payload)
+
+
+def test_version_mismatch_answered_with_hello_error():
+    database = make_database()
+    server = serve_in_thread(database)
+    try:
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(protocol.encode_frame(
+                {"type": "hello", "versions": [99],
+                 "codecs": ["json"]}))
+            answer = _recv_frame(sock)
+            assert answer["type"] == "hello_error"
+            assert "no common protocol version" in answer["detail"]
+    finally:
+        server.stop()
+        database.close()
+
+
+def test_malformed_request_answered_with_typed_error():
+    database = make_database()
+    server = serve_in_thread(database)
+    try:
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(protocol.encode_frame(protocol.hello()))
+            assert _recv_frame(sock)["type"] == "hello_ok"
+            sock.sendall(protocol.encode_frame(
+                {"type": "request", "id": 1, "session": 0}))
+            answer = _recv_frame(sock)
+            assert answer["type"] == "error"
+            assert answer["code"] == protocol.ERR_BAD_REQUEST
+            assert "missing field" in answer["detail"]
+    finally:
+        server.stop()
+        database.close()
+
+
+def test_unknown_reactor_answered_with_typed_error():
+    database = make_database()
+    server = serve_in_thread(database)
+    client = TcpClient(server.host, server.port).connect()
+    try:
+        outcome = client.submit("nobody", "nothing").wait(10.0)
+        assert not outcome.committed
+        assert outcome.error_code == protocol.ERR_UNKNOWN_REACTOR
+    finally:
+        client.close()
+        server.stop()
+        database.close()
+
+
+def test_undecodable_frame_answered_then_closed():
+    database = make_database()
+    server = serve_in_thread(database)
+    try:
+        with socket.create_connection(
+                (server.host, server.port), timeout=10) as sock:
+            sock.sendall(protocol.encode_frame(protocol.hello()))
+            assert _recv_frame(sock)["type"] == "hello_ok"
+            sock.sendall(struct.pack(">I", 8) + b"not json")
+            answer = _recv_frame(sock)
+            assert answer["type"] == "error"
+            assert answer["code"] == protocol.ERR_BAD_REQUEST
+            # The server closes after a framing violation.
+            assert sock.recv(4096) == b""
+    finally:
+        server.stop()
+        database.close()

@@ -18,8 +18,10 @@ with the same key:
   throughput (the wall-clock harness-speed bench gates on its
   calibration-normalized ``txns_per_kop``, with a wide band because
   wall-clock numbers are noisy where simulated ones are exact).
-* ``latency_us`` / ``p99_us`` / ``abort_rate`` are reported for
-  context, never gated.
+* ``latency_us`` / ``p50_us`` / ``p99_us`` / ``p999_us`` /
+  ``abort_rate`` are reported for context, never gated (the serving
+  bench's open-loop tail percentiles ride along here until the
+  planned latency gate lands).
 * a current payload's top-level ``"telemetry"`` block (per-measurement
   commit/abort latency percentiles from the telemetry registry) is
   rendered as a report-only table — also never gated, and absent
@@ -61,12 +63,15 @@ ID_KEYS = (
     "workload", "mode", "scheme", "cc_scheme", "skew", "placement",
     "read_from_replicas", "flush_interval_us", "checkpoint_every",
     "phase", "label", "variant", "backend", "containers",
+    "arrival_rate",
 )
 #: Default gated metric (lower is worse); a payload's ``"gate"``
 #: block overrides it.
 GATE_METRIC = "throughput_tps"
-#: Context metrics shown in the table.
-REPORT_METRICS = ("latency_us", "p99_us", "abort_rate")
+#: Context metrics shown in the table.  ``p50_us``/``p999_us`` appear
+#: only in open-loop serving rows; rows without a metric render blank.
+REPORT_METRICS = ("latency_us", "p50_us", "p99_us", "p999_us",
+                  "abort_rate")
 
 
 def gate_of(payload: dict, default_tolerance: float) -> tuple[str, float]:
